@@ -1,0 +1,111 @@
+"""Figure 4: tile-size autotuner integration.
+
+For each benchmark program, speedup over the *default* tile configuration
+(the analytical model's top-1 choice, exactly as in the paper) of:
+
+  * Exhaustive      — evaluate every tile on hardware;
+  * Learned 10      — learned model proposes top 10, hardware verifies;
+  * Analytical 10   — analytical model proposes top 10, hardware verifies;
+  * Learned 1       — learned model integrated directly in the compiler.
+
+Paper reference: 'Learned 10' is within 1-3% of 'Analytical 10' everywhere;
+'Learned 1' is comparable to the analytical default on the test set (a few
+percent slower on some programs, up to 20% faster on high-headroom
+programs like Translate (3)).
+"""
+import numpy as np
+
+from harness import scale, split, trained_tile_model
+from repro.autotuner import (
+    AnalyticalEvaluator,
+    HardwareEvaluator,
+    LearnedEvaluator,
+    exhaustive_tile_autotune,
+    model_tile_autotune,
+)
+from repro.compiler import enumerate_tile_sizes, fuse_program
+from repro.evaluation import format_table
+from repro.models import ModelConfig
+from repro.tpu import TpuSimulator
+
+
+def _program_kernels(program, cap):
+    kernels = [
+        k
+        for k in fuse_program(program.graph, program_name=program.name)
+        if k.has_tile_options() and len(enumerate_tile_sizes(k)) >= 2
+    ]
+    if len(kernels) > cap:
+        idx = np.linspace(0, len(kernels) - 1, cap).round().astype(int)
+        kernels = [kernels[i] for i in idx]
+    return kernels
+
+
+def _extra_headroom_programs():
+    """Four additional programs 'that gain most speedup from exhaustive
+    search' — picked deterministically from training families."""
+    s = split("random")
+    wanted = ["translate", "inception", "transformer", "smartcompose"]
+    picks = []
+    for fam in wanted:
+        for p in s.train:
+            if p.family == fam:
+                picks.append(p)
+                break
+    return picks
+
+
+def _run():
+    s = split("random")
+    tile_model = trained_tile_model("random", ModelConfig.paper_best_tile())
+    learned = LearnedEvaluator(tile_model.model, tile_model.scalers)
+    analytical = AnalyticalEvaluator()
+    programs = list(s.test_names.items()) + [
+        (f"{p.family} (extra)", p) for p in _extra_headroom_programs()
+    ]
+    cap = scale(8, 4)
+    rows = []
+    for display, program in programs:
+        kernels = _program_kernels(program, cap)
+        if not kernels:
+            continue
+        sim = TpuSimulator()
+        # The Fig. 4 baseline: analytical model's top-1 pick per kernel.
+        base = model_tile_autotune(kernels, analytical, HardwareEvaluator(sim), top_k=1)
+        baseline_rt = base.program_runtime
+        ex = exhaustive_tile_autotune(kernels, HardwareEvaluator(sim))
+        l10 = model_tile_autotune(kernels, learned, HardwareEvaluator(sim), top_k=10)
+        a10 = model_tile_autotune(kernels, analytical, HardwareEvaluator(sim), top_k=10)
+        l1 = model_tile_autotune(kernels, learned, HardwareEvaluator(sim), top_k=1)
+        rows.append(
+            [
+                display,
+                baseline_rt / ex.program_runtime,
+                baseline_rt / l10.program_runtime,
+                baseline_rt / a10.program_runtime,
+                baseline_rt / l1.program_runtime,
+            ]
+        )
+    return rows
+
+
+def test_fig4_tile_autotuner(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["Program", "Exhaustive", "Learned 10", "Analytical 10", "Learned 1"],
+            rows,
+            title="Figure 4 (reproduced): speedup over analytical-default tiles",
+        )
+    )
+    print(
+        "paper: Learned-10 within 1-3% of Analytical-10 on all benchmarks; "
+        "Learned-1 comparable to the compiler default"
+    )
+    ex = np.array([r[1] for r in rows])
+    l10 = np.array([r[2] for r in rows])
+    a10 = np.array([r[3] for r in rows])
+    # Exhaustive is the upper bound; top-10 strategies track each other.
+    assert (ex >= l10 - 1e-9).all() and (ex >= a10 - 1e-9).all()
+    assert float(np.mean(np.abs(l10 - a10))) < 0.25

@@ -1,0 +1,111 @@
+"""Figure 5: fusion autotuner — hardware-only vs learned-model + hardware.
+
+Search budgets stand in for wall-clock minutes on scarce hardware:
+  * 'HW 10'              — SA on hardware, larger program-evaluation budget;
+  * 'HW 1'               — SA on hardware, small budget;
+  * 'Cost model + HW 1'  — SA on the learned model (large cheap budget),
+                           then a small hardware budget verifies the best
+                           predicted configurations.
+
+Paper reference: cost-model+HW finds configurations on average 1.5% faster
+than hardware alone, and cutting hardware time from 10 to 1 minute does not
+degrade the cost-model variant; starting SA from a random configuration
+widens the gap to ~10%.
+"""
+import numpy as np
+
+from harness import scale, split, trained_fusion_model
+from repro.autotuner import (
+    HardwareEvaluator,
+    LearnedEvaluator,
+    hardware_fusion_autotune,
+    model_fusion_autotune,
+)
+from repro.compiler import FusionConfig, fusible_edges
+from repro.evaluation import format_table, geometric_mean
+from repro.models import ModelConfig
+from repro.tpu import TpuSimulator
+
+
+def _autotuning_programs():
+    """Programs analogous to the paper's fusion-autotuner set (Transformer,
+    Char2Feats, ResNet-parallel, ...)."""
+    s = split("random")
+    wanted = ["transformer", "char2feats", "resnet_parallel", "feats2wave", "ranking"]
+    picks = []
+    for fam in wanted:
+        for p in s.train:
+            if p.family == fam:
+                picks.append(p)
+                break
+    return picks
+
+
+HW_BUDGET_10 = scale(40, 15)
+HW_BUDGET_1 = scale(6, 3)
+MODEL_BUDGET = scale(250, 60)
+
+
+def _run():
+    fusion_model = trained_fusion_model("random", ModelConfig.paper_best_fusion())
+    rows = []
+    for program in _autotuning_programs():
+        sim = TpuSimulator()
+        learned = LearnedEvaluator(fusion_model.model, fusion_model.scalers)
+        hw10 = hardware_fusion_autotune(
+            program, HardwareEvaluator(sim), budget=HW_BUDGET_10, seed=0
+        )
+        hw1 = hardware_fusion_autotune(
+            program, HardwareEvaluator(sim), budget=HW_BUDGET_1, seed=0
+        )
+        cm1 = model_fusion_autotune(
+            program, learned, HardwareEvaluator(sim),
+            model_budget=MODEL_BUDGET, hardware_budget=HW_BUDGET_1, seed=0,
+        )
+        # Random-start comparison (paper's second experiment).
+        rng = np.random.default_rng(7)
+        rand_start = FusionConfig.random(len(fusible_edges(program.graph)), rng, p=0.5)
+        hw_rand = hardware_fusion_autotune(
+            program, HardwareEvaluator(sim), budget=HW_BUDGET_1, seed=0, start=rand_start
+        )
+        cm_rand = model_fusion_autotune(
+            program, learned, HardwareEvaluator(sim),
+            model_budget=MODEL_BUDGET, hardware_budget=HW_BUDGET_1, seed=0,
+            start=rand_start,
+        )
+        rows.append(
+            [
+                program.family,
+                hw10.speedup,
+                hw1.speedup,
+                cm1.speedup,
+                hw_rand.speedup,
+                cm_rand.speedup,
+            ]
+        )
+    return rows
+
+
+def test_fig5_fusion_autotuner(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["Program", "HW 10", "HW 1", "CM + HW 1", "HW 1 (rand)", "CM + HW 1 (rand)"],
+            rows,
+            title="Figure 5 (reproduced): fusion-autotuner speedup over default",
+        )
+    )
+    print(
+        "paper: cost model + HW ~1.5% faster than HW alone (default start); "
+        "~10% faster from a random start; HW 1 min matches HW 10 min when "
+        "the cost model pre-ranks"
+    )
+    cm1 = geometric_mean([r[3] for r in rows])
+    hw1 = geometric_mean([r[2] for r in rows])
+    cm_rand = geometric_mean([r[5] for r in rows])
+    hw_rand = geometric_mean([r[4] for r in rows])
+    # Shape: with the same tiny hardware budget, the cost model helps —
+    # especially from a random start.
+    assert cm1 >= hw1 * 0.97
+    assert cm_rand >= hw_rand * 0.97

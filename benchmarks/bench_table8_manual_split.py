@@ -1,0 +1,57 @@
+"""Table 8: main accuracy on the manual (dissimilarity) split.
+
+Paper reference (manual split):
+    Tile-size: learned mean APE 6.4 / tau 0.73 vs analytical 2.3 / 0.75
+        (the learned model is *worse* here — test programs were picked to
+        be unlike the training set).
+    Fusion:    learned mean MAPE 6.2 / tau 0.84 vs analytical 18.1 / 0.88
+        (the learned model still wins on absolute-runtime prediction).
+
+Shapes to reproduce: learned tile APE degrades relative to the random
+split; learned fusion MAPE still beats analytical.
+"""
+import numpy as np
+
+from harness import FAST
+from harness import (
+    eval_fusion_split,
+    eval_tile_split,
+    print_fusion_table,
+    print_tile_table,
+    trained_fusion_model,
+    trained_tile_model,
+)
+from repro.models import ModelConfig
+
+
+def _run():
+    tile_result = trained_tile_model("manual", ModelConfig.paper_best_tile())
+    fusion_result = trained_fusion_model("manual", ModelConfig.paper_best_fusion())
+    return (
+        eval_tile_split("manual", tile_result),
+        eval_fusion_split("manual", fusion_result),
+    )
+
+
+def test_table8_manual_split(benchmark):
+    tile_rows, fusion_rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_tile_table(
+        tile_rows,
+        "Table 8 (reproduced), tile-size task, manual split",
+        "paper: learned mean APE 6.4 tau 0.73 | analytical mean APE 2.3 tau 0.75",
+    )
+    print_fusion_table(
+        fusion_rows,
+        "Table 8 (reproduced), fusion task, manual split (kernels >= 5us)",
+        "paper: learned mean MAPE 6.2 tau 0.84 | analytical mean MAPE 18.1 tau 0.88",
+    )
+    fusion_learned = float(np.mean([r.learned_mape for r in fusion_rows]))
+    fusion_ana = float(np.mean([r.analytical_mape for r in fusion_rows]))
+    # The robust paper shape on the hard split: learned still beats the
+    # analytical model at absolute runtime prediction. The FAST smoke
+    # config trains far too briefly for the hard split, so it only checks
+    # the same order of magnitude.
+    if FAST:
+        assert fusion_learned < fusion_ana * 2.5
+    else:
+        assert fusion_learned < fusion_ana * 1.25

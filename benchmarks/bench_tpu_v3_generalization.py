@@ -1,0 +1,77 @@
+"""Sec. 5.1/5.2 text results: generalization across hardware generations.
+
+The paper trains and evaluates the same architectures on TPU v3
+measurements and reports (random split):
+    tile-size: learned mean error 3.8% (vs 3.7% on v2), mean tau 0.65;
+    fusion:    learned MAPE 4.9 / tau 0.92 on kernels >= 5us.
+
+Shape to reproduce: retraining the same model configuration on v3
+measurements yields accuracy comparable to v2 — the approach is not tuned
+to one hardware generation.
+"""
+import numpy as np
+
+from harness import FAST, eval_tile_split, scale, split, trained_tile_model
+from repro.data import build_tile_dataset
+from repro.evaluation import evaluate_tile_task, format_table
+from repro.models import ModelConfig, TrainConfig, predict_tile_scores, train_tile_model
+from repro.tpu import TPU_V3, TpuSimulator
+
+
+def _v3_data(programs, seed):
+    return build_tile_dataset(
+        programs,
+        simulator=TpuSimulator(TPU_V3),
+        max_kernels_per_program=scale(10, 6),
+        max_tiles_per_kernel=scale(16, 8),
+        seed=seed,
+    )
+
+
+def _run():
+    s = split("random")
+    train_programs = s.train[::4] if FAST else s.train
+    v3_train = _v3_data(train_programs, seed=0)
+    v3_test = _v3_data(s.test, seed=1)
+    res = train_tile_model(
+        v3_train.records,
+        ModelConfig.paper_best_tile(),
+        TrainConfig(
+            steps=scale(1800, 400), learning_rate=8e-4,
+            kernels_per_batch=6, tiles_per_kernel=6, log_every=500,
+        ),
+    )
+    rows = []
+    by_prog = v3_test.by_program()
+    for display, program in s.test_names.items():
+        recs = by_prog.get(program.name, [])
+        if not recs:
+            continue
+        truths = [r.runtimes for r in recs]
+        scores = [predict_tile_scores(res.model, res.scalers, r) for r in recs]
+        m = evaluate_tile_task(truths, scores)
+        rows.append([display, m.ape, m.kendall])
+    # v2 reference from the (cached) Table 2 model.
+    v2_rows = eval_tile_split("random", trained_tile_model("random", ModelConfig.paper_best_tile()))
+    v2_mean = float(np.mean([r.learned_ape for r in v2_rows]))
+    return rows, v2_mean
+
+
+def test_tpu_v3_generalization(benchmark):
+    rows, v2_mean = benchmark.pedantic(_run, rounds=1, iterations=1)
+    v3_mean = float(np.mean([r[1] for r in rows]))
+    v3_tau = float(np.mean([r[2] for r in rows]))
+    print()
+    print(
+        format_table(
+            ["Application", "APE (v3)", "tau (v3)"],
+            rows + [["Mean", v3_mean, v3_tau]],
+            title="TPU v3 generalization (reproduced), tile task",
+        )
+    )
+    print(
+        f"paper: v3 learned mean error 3.8 tau 0.65 (v2: 3.7 tau 0.80); "
+        f"measured v2 mean here: {v2_mean:.1f}"
+    )
+    # Shape: v3 accuracy is in the same band as v2 (within a few points).
+    assert abs(v3_mean - v2_mean) < 6.0

@@ -1,0 +1,269 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every ``bench_*.py`` file regenerates one table or figure of the paper.
+This module centralizes dataset construction, model training and
+per-program evaluation so benches share cached artifacts within one pytest
+session (Table 2's trained models are reused by Figures 4/5, etc.).
+
+Scale: the paper trains for 3-5M steps on 25M/208M samples; these benches
+train the same architectures for a few thousand steps on a synthetic corpus,
+which preserves the qualitative comparisons (who wins, by roughly what
+factor) but not absolute step counts. Set ``REPRO_BENCH_FAST=1`` for a
+several-times-smaller smoke configuration.
+"""
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compiler import default_tile, fuse_program
+from repro.data import build_fusion_dataset, build_tile_dataset
+from repro.evaluation import (
+    evaluate_fusion_task,
+    evaluate_tile_task,
+    format_table,
+    summarize,
+)
+from repro.models import (
+    ModelConfig,
+    TrainConfig,
+    TrainResult,
+    predict_fusion_runtimes,
+    predict_tile_scores,
+    train_fusion_model,
+    train_tile_model,
+)
+from repro.tpu import (
+    AnalyticalModel,
+    CalibratedAnalyticalModel,
+    TpuSimulator,
+    calibrate_kind_scales,
+)
+from repro.workloads import Split, build_corpus, manual_split, random_split
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+
+def scale(full: int, fast: int) -> int:
+    """Pick a knob value depending on the benchmark scale."""
+    return fast if FAST else full
+
+
+# ------------------------------------------------------------------ caching
+_CORPUS = None
+_SPLITS: dict[str, Split] = {}
+_TILE_DS: dict[tuple, object] = {}
+_FUSION_DS: dict[tuple, object] = {}
+_MODELS: dict[tuple, TrainResult] = {}
+
+
+def corpus():
+    global _CORPUS
+    if _CORPUS is None:
+        _CORPUS = build_corpus()
+    return _CORPUS
+
+
+def split(name: str) -> Split:
+    if name not in _SPLITS:
+        _SPLITS[name] = random_split(corpus()) if name == "random" else manual_split(corpus())
+    return _SPLITS[name]
+
+
+def tile_data(split_name: str, subset: str, seed: int = 0):
+    """Tile dataset for one subset ('train'/'validation'/'test') of a split."""
+    key = (split_name, subset, seed, FAST)
+    if key not in _TILE_DS:
+        s = split(split_name)
+        programs = getattr(s, subset)
+        if subset == "train" and FAST:
+            programs = programs[::4]
+        _TILE_DS[key] = build_tile_dataset(
+            programs,
+            max_kernels_per_program=scale(10, 6),
+            max_tiles_per_kernel=scale(16, 8),
+            seed=seed + (0 if subset == "train" else 1),
+        )
+    return _TILE_DS[key]
+
+
+def fusion_data(split_name: str, subset: str, seed: int = 0):
+    """Fusion dataset for one subset of a split."""
+    key = (split_name, subset, seed, FAST)
+    if key not in _FUSION_DS:
+        s = split(split_name)
+        programs = getattr(s, subset)
+        if subset == "train" and FAST:
+            programs = programs[::4]
+        _FUSION_DS[key] = build_fusion_dataset(
+            programs,
+            configs_per_program=scale(4, 2),
+            seed=seed + (0 if subset == "train" else 1),
+        )
+    return _FUSION_DS[key]
+
+
+def default_tile_train(steps: int | None = None) -> TrainConfig:
+    return TrainConfig(
+        steps=steps if steps is not None else scale(1800, 400),
+        learning_rate=8e-4,
+        kernels_per_batch=6,
+        tiles_per_kernel=6,
+        log_every=500,
+    )
+
+
+def default_fusion_train(steps: int | None = None) -> TrainConfig:
+    return TrainConfig(
+        steps=steps if steps is not None else scale(2400, 500),
+        learning_rate=8e-4,
+        batch_size=24,
+        log_every=500,
+    )
+
+
+def trained_tile_model(split_name: str, config: ModelConfig, steps: int | None = None) -> TrainResult:
+    """Train (or fetch a cached) tile model on a split's training set."""
+    key = ("tile", split_name, config, steps, FAST)
+    if key not in _MODELS:
+        ds = tile_data(split_name, "train")
+        _MODELS[key] = train_tile_model(ds.records, config, default_tile_train(steps))
+    return _MODELS[key]
+
+
+def trained_fusion_model(split_name: str, config: ModelConfig, steps: int | None = None) -> TrainResult:
+    """Train (or fetch a cached) fusion model on a split's training set."""
+    key = ("fusion", split_name, config, steps, FAST)
+    if key not in _MODELS:
+        ds = fusion_data(split_name, "train")
+        _MODELS[key] = train_fusion_model(ds.records, config, default_fusion_train(steps))
+    return _MODELS[key]
+
+
+# --------------------------------------------------------------- evaluation
+@dataclass
+class TileRow:
+    """One Table 2/8 row for the tile task."""
+
+    application: str
+    learned_ape: float
+    analytical_ape: float
+    learned_tau: float
+    analytical_tau: float
+
+
+@dataclass
+class FusionRow:
+    """One Table 2/8 row for the fusion task."""
+
+    application: str
+    learned_mape: float
+    analytical_mape: float
+    learned_tau: float
+    analytical_tau: float
+
+
+def eval_tile_split(split_name: str, result: TrainResult) -> list[TileRow]:
+    """Per-application tile metrics for the split's named test programs."""
+    s = split(split_name)
+    ds = tile_data(split_name, "test")
+    by_prog = ds.by_program()
+    ana = AnalyticalModel()
+    rows = []
+    for display, program in s.test_names.items():
+        recs = by_prog.get(program.name, [])
+        if not recs:
+            continue
+        truths = [r.runtimes for r in recs]
+        learned_scores = [predict_tile_scores(result.model, result.scalers, r) for r in recs]
+        ana_scores = [
+            np.asarray([ana.estimate(r.kernel, t) for t in r.tiles]) for r in recs
+        ]
+        lm = evaluate_tile_task(truths, learned_scores)
+        am = evaluate_tile_task(truths, ana_scores)
+        rows.append(TileRow(display, lm.ape, am.ape, lm.kendall, am.kendall))
+    return rows
+
+
+def calibrated_analytical(split_name: str) -> CalibratedAnalyticalModel:
+    """Per-kind-calibrated analytical model, following the paper's protocol:
+    run every test program once under the default fusion configuration."""
+    s = split(split_name)
+    sim = TpuSimulator()
+    kernels, truths = [], []
+    for p in s.test:
+        for k in fuse_program(p.graph, program_name=p.name):
+            if k.has_tile_options():
+                kernels.append(k)
+                truths.append(sim.run(k, default_tile(k)))
+    ana = AnalyticalModel()
+    return CalibratedAnalyticalModel(ana, calibrate_kind_scales(kernels, truths, ana))
+
+
+def eval_fusion_split(
+    split_name: str, result: TrainResult, min_runtime: float = 5e-6
+) -> list[FusionRow]:
+    """Per-application fusion metrics (kernels >= min_runtime)."""
+    s = split(split_name)
+    ds = fusion_data(split_name, "test")
+    by_prog = ds.by_program()
+    cal = calibrated_analytical(split_name)
+    rows = []
+    for display, program in s.test_names.items():
+        recs = by_prog.get(program.name, [])
+        if not recs:
+            continue
+        truths = np.asarray([r.runtime for r in recs])
+        preds = predict_fusion_runtimes(result.model, result.scalers, recs)
+        lm = evaluate_fusion_task(truths, preds, min_runtime)
+        keep = [i for i, r in enumerate(recs) if r.kernel.has_tile_options()]
+        ana_preds = np.asarray([cal.estimate(recs[i].kernel) for i in keep])
+        am = evaluate_fusion_task(truths[keep], ana_preds, min_runtime)
+        if lm.num_kernels == 0:
+            continue
+        rows.append(FusionRow(display, lm.mape, am.mape, lm.kendall, am.kendall))
+    return rows
+
+
+def print_tile_table(rows: list[TileRow], title: str, paper_note: str = "") -> None:
+    body = [
+        [r.application, r.learned_ape, r.analytical_ape, r.learned_tau, r.analytical_tau]
+        for r in rows
+    ]
+    la = summarize([r.learned_ape for r in rows])
+    aa = summarize([r.analytical_ape for r in rows])
+    lt = summarize([r.learned_tau for r in rows])
+    at = summarize([r.analytical_tau for r in rows])
+    body.append(["Median", la["median"], aa["median"], lt["median"], at["median"]])
+    body.append(["Mean", la["mean"], aa["mean"], lt["mean"], at["mean"]])
+    print()
+    print(
+        format_table(
+            ["Application", "APE(L)", "APE(A)", "tau(L)", "tau(A)"], body, title=title
+        )
+    )
+    if paper_note:
+        print(paper_note)
+
+
+def print_fusion_table(rows: list[FusionRow], title: str, paper_note: str = "") -> None:
+    body = [
+        [r.application, r.learned_mape, r.analytical_mape, r.learned_tau, r.analytical_tau]
+        for r in rows
+    ]
+    lm = summarize([r.learned_mape for r in rows])
+    am = summarize([r.analytical_mape for r in rows])
+    lt = summarize([r.learned_tau for r in rows])
+    at = summarize([r.analytical_tau for r in rows])
+    body.append(["Median", lm["median"], am["median"], lt["median"], at["median"]])
+    body.append(["Mean", lm["mean"], am["mean"], lt["mean"], at["mean"]])
+    print()
+    print(
+        format_table(
+            ["Application", "MAPE(L)", "MAPE(A)", "tau(L)", "tau(A)"], body, title=title
+        )
+    )
+    if paper_note:
+        print(paper_note)

@@ -1,0 +1,72 @@
+"""Train the paper's best tile-size model on the corpus and evaluate it on
+the held-out test programs of the random split (a miniature Table 2, left).
+
+Run:  python examples/train_tile_model.py [--fast]
+"""
+import argparse
+
+import numpy as np
+
+from repro.data import build_tile_dataset
+from repro.evaluation import evaluate_tile_task, format_table, summarize
+from repro.models import ModelConfig, TrainConfig, predict_tile_scores, train_tile_model
+from repro.tpu import AnalyticalModel
+from repro.workloads import random_split
+
+
+def main(fast: bool) -> None:
+    split = random_split()
+    train_programs = split.train[::6] if fast else split.train[::2]
+    print(f"training on {len(train_programs)} programs, "
+          f"evaluating on {len(split.test)} held-out test programs")
+
+    train_ds = build_tile_dataset(train_programs, max_kernels_per_program=8,
+                                  max_tiles_per_kernel=12, seed=0)
+    test_ds = build_tile_dataset(split.test, max_kernels_per_program=6,
+                                 max_tiles_per_kernel=12, seed=1)
+    print(f"train: {train_ds.num_kernels} kernels / {train_ds.num_samples} samples")
+
+    config = ModelConfig.paper_best_tile()  # GraphSAGE + LSTM + rank loss
+    steps = 400 if fast else 1500
+    result = train_tile_model(
+        train_ds.records, config,
+        TrainConfig(steps=steps, kernels_per_batch=6, tiles_per_kernel=6,
+                    learning_rate=8e-4, log_every=max(steps // 8, 1)),
+        verbose=True,
+    )
+
+    analytical = AnalyticalModel()
+    rows = []
+    by_prog = test_ds.by_program()
+    for display, program in split.test_names.items():
+        recs = by_prog.get(program.name, [])
+        if not recs:
+            continue
+        truths = [r.runtimes for r in recs]
+        learned = evaluate_tile_task(
+            truths, [predict_tile_scores(result.model, result.scalers, r) for r in recs]
+        )
+        ana = evaluate_tile_task(
+            truths,
+            [np.array([analytical.estimate(r.kernel, t) for t in r.tiles]) for r in recs],
+        )
+        rows.append([display, learned.ape, ana.ape, learned.kendall, ana.kendall])
+    means = [
+        "Mean",
+        summarize([r[1] for r in rows])["mean"],
+        summarize([r[2] for r in rows])["mean"],
+        summarize([r[3] for r in rows])["mean"],
+        summarize([r[4] for r in rows])["mean"],
+    ]
+    print()
+    print(format_table(
+        ["Application", "APE learned", "APE analytical", "tau learned", "tau analytical"],
+        rows + [means],
+        title="tile-size selection on unseen programs (cf. paper Table 2)",
+    ))
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--fast", action="store_true", help="smaller/faster run")
+    main(parser.parse_args().fast)

@@ -1,0 +1,119 @@
+"""Cost evaluators the autotuner can plug in (paper Fig. 1).
+
+Three ways to price a candidate configuration: run it on the (simulated)
+hardware, ask the hand-tuned analytical model, or ask the learned model.
+The hardware evaluator meters its use — the entire point of the paper's
+Sec. 7 experiments is trading scarce hardware evaluations for cheap model
+evaluations.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..compiler.kernels import Kernel
+from ..compiler.tiling import TileConfig, default_tile
+from ..data.batching import Scalers, assemble_batch
+from ..data.features import extract_kernel_features, tile_features
+from ..models.model import LearnedPerformanceModel
+from ..tpu.analytical import AnalyticalModel, CalibratedAnalyticalModel
+from ..tpu.simulator import TpuSimulator
+
+
+class HardwareEvaluator:
+    """Executes (kernel, tile) pairs on the simulated TPU, with metering.
+
+    Attributes:
+        evaluations: number of kernel executions performed so far — the
+            scarce-resource budget of Figures 4 and 5.
+    """
+
+    def __init__(self, simulator: TpuSimulator | None = None, rng: np.random.Generator | None = None) -> None:
+        self.simulator = simulator or TpuSimulator()
+        self.rng = rng
+        self.evaluations = 0
+
+    def kernel_runtime(self, kernel: Kernel, tile: TileConfig | None = None) -> float:
+        """Measure one kernel (counts against the budget)."""
+        self.evaluations += 1
+        if self.rng is not None:
+            return self.simulator.measure(kernel, tile, rng=self.rng)
+        return self.simulator.run(kernel, tile)
+
+    def program_runtime(self, kernels: list[Kernel], tiles: list[TileConfig] | None = None) -> float:
+        """Measure a whole program (counts one evaluation per kernel)."""
+        if tiles is None:
+            tiles = [default_tile(k) for k in kernels]
+        return sum(self.kernel_runtime(k, t) for k, t in zip(kernels, tiles))
+
+
+class AnalyticalEvaluator:
+    """Prices tiles with the hand-tuned analytical model (free, no meter)."""
+
+    def __init__(self, model: AnalyticalModel | CalibratedAnalyticalModel | None = None) -> None:
+        self.model = model or AnalyticalModel()
+
+    def tile_scores(self, kernel: Kernel, tiles: list[TileConfig]) -> np.ndarray:
+        """Estimated runtimes (ranking scores) for candidate tiles."""
+        return np.asarray([self.model.estimate(kernel, t) for t in tiles])
+
+    def kernel_runtime(self, kernel: Kernel, tile: TileConfig | None = None) -> float:
+        """Absolute estimate (only meaningful for a calibrated model)."""
+        tile = tile or default_tile(kernel)
+        return float(self.model.estimate(kernel, tile))
+
+
+@dataclass
+class LearnedEvaluator:
+    """Prices kernels/tiles with a trained learned model.
+
+    Args:
+        model: trained :class:`LearnedPerformanceModel`.
+        scalers: the feature scalers fitted at training time.
+        cache: memoize per-kernel predictions by fingerprint (the fusion
+            autotuner re-visits the same kernels across configurations
+            constantly).
+    """
+
+    model: LearnedPerformanceModel
+    scalers: Scalers
+    cache: bool = True
+
+    def __post_init__(self) -> None:
+        self._memo: dict[str, float] = {}
+
+    def tile_scores(self, kernel: Kernel, tiles: list[TileConfig]) -> np.ndarray:
+        """Rank scores for candidate tiles of one kernel (lower = faster)."""
+        features = extract_kernel_features(kernel)
+        items = [(features, tile_features(t), 0.0, 0) for t in tiles]
+        batch = assemble_batch(items, self.scalers, neighbor_cap=self.model.config.neighbor_cap)
+        return self.model.predict(batch)
+
+    def kernel_runtime(self, kernel: Kernel, tile: TileConfig | None = None) -> float:
+        """Predicted absolute runtime in seconds (fusion-task models)."""
+        fp = kernel.fingerprint() if self.cache else None
+        if fp is not None and fp in self._memo:
+            return self._memo[fp]
+        features = extract_kernel_features(kernel)
+        items = [(features, None, 0.0, 0)]
+        batch = assemble_batch(items, self.scalers, neighbor_cap=self.model.config.neighbor_cap)
+        value = float(self.model.predict_runtimes(batch)[0])
+        if fp is not None:
+            self._memo[fp] = value
+        return value
+
+    def program_runtime(self, kernels: list[Kernel]) -> float:
+        """Predicted program runtime: sum of kernel predictions (batched)."""
+        if not self.cache:
+            items = [(extract_kernel_features(k), None, 0.0, i) for i, k in enumerate(kernels)]
+            batch = assemble_batch(items, self.scalers, neighbor_cap=self.model.config.neighbor_cap)
+            return float(self.model.predict_runtimes(batch).sum())
+        missing = [k for k in kernels if k.fingerprint() not in self._memo]
+        if missing:
+            items = [(extract_kernel_features(k), None, 0.0, i) for i, k in enumerate(missing)]
+            batch = assemble_batch(items, self.scalers, neighbor_cap=self.model.config.neighbor_cap)
+            preds = self.model.predict_runtimes(batch)
+            for k, p in zip(missing, preds):
+                self._memo[k.fingerprint()] = float(p)
+        return sum(self._memo[k.fingerprint()] for k in kernels)

@@ -1,0 +1,130 @@
+"""Generic search strategies for the autotuner (paper Fig. 1 lists random,
+genetic, simulated annealing...; the fusion autotuner uses simulated
+annealing, the dataset generator uses random search)."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, TypeVar
+
+import numpy as np
+
+S = TypeVar("S")
+
+
+@dataclass
+class SearchResult(Generic[S]):
+    """Outcome of a search run.
+
+    Attributes:
+        best_state: lowest-cost state visited.
+        best_cost: its cost.
+        history: (step, cost of current state) trace.
+        visited: every (state, cost) pair evaluated, in order — the hybrid
+            autotuner re-ranks these for hardware verification.
+    """
+
+    best_state: S
+    best_cost: float
+    history: list[tuple[int, float]] = field(default_factory=list)
+    visited: list[tuple[S, float]] = field(default_factory=list)
+
+
+def random_search(
+    sample: Callable[[np.random.Generator], S],
+    cost_fn: Callable[[S], float],
+    steps: int,
+    rng: np.random.Generator,
+) -> SearchResult[S]:
+    """Independent random sampling."""
+    best_state: S | None = None
+    best_cost = float("inf")
+    result: SearchResult[S] = SearchResult(best_state, best_cost)  # type: ignore[arg-type]
+    for step in range(steps):
+        state = sample(rng)
+        cost = cost_fn(state)
+        result.visited.append((state, cost))
+        if cost < best_cost:
+            best_state, best_cost = state, cost
+            result.history.append((step, cost))
+    result.best_state = best_state  # type: ignore[assignment]
+    result.best_cost = best_cost
+    return result
+
+
+def simulated_annealing(
+    initial: S,
+    cost_fn: Callable[[S], float],
+    neighbor_fn: Callable[[S, np.random.Generator], S],
+    steps: int,
+    rng: np.random.Generator,
+    initial_temperature: float = 1.0,
+    final_temperature: float = 1e-3,
+) -> SearchResult[S]:
+    """Simulated annealing with geometric cooling.
+
+    Costs are normalized by the initial cost so temperatures are scale-free.
+
+    Args:
+        initial: starting state (the compiler default or a random config).
+        cost_fn: state -> cost (lower is better).
+        neighbor_fn: proposal distribution.
+        steps: proposal count (evaluation budget).
+        rng: randomness source.
+        initial_temperature / final_temperature: cooling endpoints.
+    """
+    current = initial
+    current_cost = cost_fn(current)
+    scale = max(abs(current_cost), 1e-30)
+    best_state, best_cost = current, current_cost
+    result: SearchResult[S] = SearchResult(best_state, best_cost)
+    result.visited.append((current, current_cost))
+    if steps <= 0:
+        return result
+    alpha = (final_temperature / initial_temperature) ** (1.0 / steps)
+    temp = initial_temperature
+    for step in range(steps):
+        candidate = neighbor_fn(current, rng)
+        cost = cost_fn(candidate)
+        result.visited.append((candidate, cost))
+        delta = (cost - current_cost) / scale
+        if delta <= 0 or rng.random() < np.exp(-delta / max(temp, 1e-12)):
+            current, current_cost = candidate, cost
+            result.history.append((step, cost))
+        if cost < best_cost:
+            best_state, best_cost = candidate, cost
+        temp *= alpha
+    result.best_state = best_state
+    result.best_cost = best_cost
+    return result
+
+
+def genetic_search(
+    sample: Callable[[np.random.Generator], S],
+    cost_fn: Callable[[S], float],
+    crossover: Callable[[S, S, np.random.Generator], S],
+    mutate: Callable[[S, np.random.Generator], S],
+    rng: np.random.Generator,
+    population: int = 16,
+    generations: int = 10,
+    elite: int = 4,
+) -> SearchResult[S]:
+    """Simple elitist genetic algorithm."""
+    pop = [(s := sample(rng), cost_fn(s)) for _ in range(population)]
+    result: SearchResult[S] = SearchResult(pop[0][0], pop[0][1])
+    result.visited.extend(pop)
+    for gen in range(generations):
+        pop.sort(key=lambda t: t[1])
+        result.history.append((gen, pop[0][1]))
+        parents = pop[:elite]
+        children = list(parents)
+        while len(children) < population:
+            a = parents[rng.integers(0, elite)][0]
+            b = parents[rng.integers(0, elite)][0]
+            child = mutate(crossover(a, b, rng), rng)
+            cost = cost_fn(child)
+            children.append((child, cost))
+            result.visited.append((child, cost))
+        pop = children
+    pop.sort(key=lambda t: t[1])
+    result.best_state, result.best_cost = pop[0]
+    return result

@@ -1,0 +1,201 @@
+"""Tile-size enumeration for kernels.
+
+A kernel computes its (primary) output one *tile* at a time: an output tile
+is a per-dimension block size; the kernel loops over ceil(dim/tile) blocks
+per dimension, streaming input slices into scratchpad and the output tile
+back to HBM (paper Sec. 2.2). ``enumerate_tile_sizes`` queries the valid
+tile sizes of a kernel exactly like the paper "queried the compiler for a
+list of valid tile sizes" — validity is a scratchpad-footprint constraint.
+
+Real kernels expose between 2 and 500,000 valid tile sizes; enumeration is
+therefore capped with deterministic coverage-preserving subsampling.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from ..hlo.shapes import Shape
+from .kernels import Kernel
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """One tile-size choice for a kernel.
+
+    Attributes:
+        dims: block size per output dimension (same rank as the kernel's
+            primary output). Every entry is in ``[1, dim]``.
+    """
+
+    dims: tuple[int, ...]
+
+    @property
+    def volume(self) -> int:
+        """Elements per tile."""
+        return int(math.prod(self.dims)) if self.dims else 1
+
+    def iterations(self, output: Shape) -> int:
+        """Number of tile iterations needed to cover ``output``."""
+        it = 1
+        for d, t in zip(output.dims, self.dims):
+            it *= -(-d // t)
+        return int(it) if output.dims else 1
+
+
+@dataclass(frozen=True)
+class TilingParams:
+    """Knobs for tile enumeration.
+
+    Attributes:
+        scratchpad_bytes: on-chip memory capacity.
+        scratchpad_fraction: fraction of scratchpad one tile's working set
+            may occupy (double-buffering for compute/transfer overlap means
+            a tile must fit in roughly half the scratchpad).
+        max_candidates_per_dim: cap on distinct block sizes tried per dim.
+        max_configs: hard cap on the returned configuration count.
+    """
+
+    scratchpad_bytes: int = 16 * 1024 * 1024
+    scratchpad_fraction: float = 0.5
+    max_candidates_per_dim: int = 12
+    max_configs: int = 512
+
+
+def candidate_block_sizes(dim: int, cap: int) -> list[int]:
+    """Block-size candidates for one dimension of extent ``dim``.
+
+    Powers of two up to ``dim``, multiples of 128 (lane width), plus ``dim``
+    itself — then deterministically thinned to ``cap`` entries.
+    """
+    if dim <= 1:
+        return [max(dim, 1)]
+    sizes = {dim}
+    p = 1
+    while p < dim:
+        sizes.add(p)
+        p *= 2
+    m = 128
+    while m < dim:
+        sizes.add(m)
+        m += 128
+    ordered = sorted(sizes)
+    if len(ordered) <= cap:
+        return ordered
+    # Thin evenly but always keep the extremes.
+    idx = np.linspace(0, len(ordered) - 1, cap).round().astype(int)
+    return sorted({ordered[i] for i in idx})
+
+
+def tile_footprint_bytes(kernel: Kernel, tile: TileConfig) -> int:
+    """Scratchpad bytes one iteration of ``tile`` keeps live.
+
+    The output tile is resident, plus — for each kernel input — the slice of
+    it needed for one output tile. Inputs whose dimensions align with output
+    dimensions contribute proportionally-shrunk slices; mismatched inputs
+    (e.g. full contraction operands) contribute a tile-by-full-depth slice.
+    """
+    output = kernel.primary_output().shape
+    tile_elems = tile.volume
+    total = tile_elems * output.dtype.byte_size
+    shrink = tile_elems / max(output.num_elements, 1)
+    for param in kernel.graph.parameters():
+        s = param.shape
+        if s.dims == output.dims:
+            # Elementwise-aligned input: slice shrinks with the tile.
+            total += int(s.byte_size * shrink) or s.dtype.byte_size
+        elif s.rank >= 2 and output.rank >= 2 and s.dims[-1] == output.dims[-1]:
+            # Shares the minor dimension (e.g. weights [k, n] for out [m, n]):
+            # the slice shrinks with the minor tile extent only.
+            frac = tile.dims[-1] / max(output.dims[-1], 1)
+            total += int(s.byte_size * frac) or s.dtype.byte_size
+        else:
+            # Contraction-style operand: one full stripe per tile row.
+            lead = tile.dims[0] / max(output.dims[0], 1) if output.dims else 1.0
+            total += int(s.byte_size * min(1.0, lead * 4)) or s.dtype.byte_size
+    return total
+
+
+def tile_transfer_bytes(kernel: Kernel, tile: TileConfig) -> tuple[int, int]:
+    """Per-iteration (copy-in, copy-out) HBM traffic for one tile.
+
+    Copy-out is the output tile itself; copy-in is the per-tile input slice
+    estimate of :func:`tile_footprint_bytes`. Note the *total* copy-in over
+    all iterations may exceed the input tensor sizes — contraction operands
+    are re-streamed once per output stripe, which is exactly why tile choice
+    changes total data movement (Appendix A, point 1).
+    """
+    output = kernel.primary_output().shape
+    out_bytes = tile.volume * output.dtype.byte_size
+    in_bytes = tile_footprint_bytes(kernel, tile) - out_bytes
+    return max(in_bytes, 0), out_bytes
+
+
+def enumerate_tile_sizes(
+    kernel: Kernel,
+    params: TilingParams | None = None,
+) -> list[TileConfig]:
+    """All valid tile sizes of a kernel (capped, deterministic).
+
+    Returns at least one configuration (the full-output tile is clamped into
+    validity by halving its largest dimension until it fits). Kernels
+    without tile options (data formatting) get the single trivial config.
+    """
+    params = params or TilingParams()
+    output = kernel.primary_output().shape
+    if not kernel.has_tile_options() or output.rank == 0:
+        return [TileConfig(tuple(output.dims))]
+    budget = int(params.scratchpad_bytes * params.scratchpad_fraction)
+
+    per_dim = [
+        candidate_block_sizes(d, params.max_candidates_per_dim) for d in output.dims
+    ]
+    configs: list[TileConfig] = []
+    total = math.prod(len(c) for c in per_dim)
+    if total <= params.max_configs * 4:
+        combos = product(*per_dim)
+    else:
+        # Deterministic subsample of the cross product via a seeded generator.
+        rng = np.random.default_rng(abs(hash(kernel.fingerprint())) % (2**32))
+        combos = (
+            tuple(c[rng.integers(0, len(c))] for c in per_dim)
+            for _ in range(params.max_configs * 4)
+        )
+    seen: set[tuple[int, ...]] = set()
+    for dims in combos:
+        dims = tuple(dims)
+        if dims in seen:
+            continue
+        seen.add(dims)
+        tile = TileConfig(dims)
+        if tile_footprint_bytes(kernel, tile) <= budget:
+            configs.append(tile)
+        if len(configs) >= params.max_configs:
+            break
+    if not configs:
+        configs.append(_clamped_full_tile(kernel, budget))
+    return configs
+
+
+def _clamped_full_tile(kernel: Kernel, budget: int) -> TileConfig:
+    """Whole-output tile, halved along its largest dim until it fits."""
+    dims = list(kernel.primary_output().shape.dims)
+    tile = TileConfig(tuple(dims))
+    while tile_footprint_bytes(kernel, tile) > budget and max(dims) > 1:
+        i = int(np.argmax(dims))
+        dims[i] = max(1, dims[i] // 2)
+        tile = TileConfig(tuple(dims))
+    return tile
+
+
+def default_tile(kernel: Kernel, params: TilingParams | None = None) -> TileConfig:
+    """A reasonable default tile: the largest valid one by volume.
+
+    This stands in for the compiler's pre-model default; the analytical or
+    learned model then picks among :func:`enumerate_tile_sizes`.
+    """
+    options = enumerate_tile_sizes(kernel, params)
+    return max(options, key=lambda t: (t.volume, t.dims))

@@ -1,0 +1,235 @@
+"""Batch assembly and balanced sampling.
+
+A :class:`GraphBatch` stacks several kernels into one model input: node
+features are concatenated into a single matrix, adjacencies become one
+block-diagonal sparse operator, and per-kernel features/targets are aligned
+by graph index. Tile features and static performance features are kept as
+separate blocks — *where* they enter the network (node level vs. kernel
+embedding, present vs. absent) is a model configuration, not a dataset
+property (paper Fig. 3 options 1/2 and the Table 3 ablations).
+
+Sequence reductions (LSTM/Transformer) additionally need a padded
+[batch, max_nodes] view, which the batch precomputes.
+
+Sampling is *balanced by model family* — the paper draws examples evenly
+from each model type during training to counter the corpus imbalance.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..nn.graph_layers import BatchedGraphContext
+from .dataset import FusionRecord, TileRecord
+from .features import (
+    FeatureScaler,
+    KernelFeatures,
+    STATIC_FEATURE_DIM,
+    TILE_FEATURE_DIM,
+)
+
+#: One raw batch item: (features, tile_vector_or_None, target_seconds, group_id).
+BatchItem = tuple[KernelFeatures, "np.ndarray | None", float, int]
+
+
+@dataclass
+class GraphBatch:
+    """One training/evaluation batch of kernels.
+
+    Attributes:
+        context: sparse structural operators (GNN aggregation, edge list).
+        opcodes: [total_nodes] opcode ids.
+        node_feats: [total_nodes, F] scaled node features.
+        tile_feats: [batch, TILE_FEATURE_DIM] scaled tile features (all
+            zeros when items carried no tile, e.g. the fusion task).
+        static_feats: [batch, STATIC_FEATURE_DIM] scaled static features.
+        targets: [batch] true runtimes in seconds.
+        group_ids: [batch] ranking-group id (kernel identity) for the
+            pairwise rank loss.
+        pad_index: [batch, max_nodes] indices into the node axis for padded
+            sequence views (entries beyond a graph's size point at node 0).
+        pad_mask: [batch, max_nodes] validity mask for ``pad_index``.
+    """
+
+    context: BatchedGraphContext
+    opcodes: np.ndarray
+    node_feats: np.ndarray
+    tile_feats: np.ndarray
+    static_feats: np.ndarray
+    targets: np.ndarray
+    group_ids: np.ndarray
+    pad_index: np.ndarray
+    pad_mask: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return len(self.targets)
+
+
+@dataclass
+class Scalers:
+    """Train-set feature scalers for the three feature blocks."""
+
+    node: FeatureScaler
+    tile: FeatureScaler
+    static: FeatureScaler
+
+    @staticmethod
+    def fit_tile(records: list[TileRecord]) -> "Scalers":
+        """Fit all scalers from tile-task training records."""
+        node_rows = np.concatenate([r.features.node_feats for r in records], axis=0)
+        tile_rows = np.concatenate([r.tile_feats for r in records], axis=0)
+        static_rows = np.stack([r.features.static_feats for r in records])
+        return Scalers(
+            node=FeatureScaler().fit(node_rows),
+            tile=FeatureScaler().fit(tile_rows),
+            static=FeatureScaler().fit(static_rows),
+        )
+
+    @staticmethod
+    def fit_fusion(records: list[FusionRecord]) -> "Scalers":
+        """Fit scalers from fusion-task training records (tile block gets a
+        degenerate unit scaler; the fusion task has no tile features)."""
+        node_rows = np.concatenate([r.features.node_feats for r in records], axis=0)
+        static_rows = np.stack([r.features.static_feats for r in records])
+        tile_sc = FeatureScaler().fit(np.zeros((2, TILE_FEATURE_DIM), dtype=np.float32))
+        return Scalers(
+            node=FeatureScaler().fit(node_rows),
+            tile=tile_sc,
+            static=FeatureScaler().fit(static_rows),
+        )
+
+
+def assemble_batch(
+    items: list[BatchItem],
+    scalers: Scalers | None = None,
+    neighbor_cap: int | None = 20,
+) -> GraphBatch:
+    """Build a :class:`GraphBatch` from raw items.
+
+    Args:
+        items: (features, tile_vector, target_runtime, group_id) per kernel
+            instance; ``tile_vector`` may be None (fusion task).
+        scalers: fitted scalers; None = identity.
+        neighbor_cap: GNN neighbor-list truncation (paper App. B: 20).
+    """
+    if not items:
+        raise ValueError("cannot assemble an empty batch")
+    adjacencies = [sp.csr_matrix(f.adjacency) for f, _, _, _ in items]
+    context = BatchedGraphContext(adjacencies, neighbor_cap=neighbor_cap)
+    opcodes = np.concatenate([f.opcodes for f, _, _, _ in items])
+    node_feats = np.concatenate([f.node_feats for f, _, _, _ in items], axis=0)
+    tile_rows = np.stack(
+        [
+            t if t is not None else np.zeros(TILE_FEATURE_DIM, dtype=np.float32)
+            for _, t, _, _ in items
+        ]
+    )
+    static_rows = np.stack([f.static_feats for f, _, _, _ in items])
+    if scalers is not None:
+        node_feats = scalers.node.transform(node_feats)
+        tile_rows = scalers.tile.transform(tile_rows)
+        static_rows = scalers.static.transform(static_rows)
+    targets = np.asarray([t for _, _, t, _ in items], dtype=np.float64)
+    group_ids = np.asarray([g for _, _, _, g in items], dtype=np.int64)
+
+    sizes = context.sizes
+    max_nodes = max(sizes)
+    pad_index = np.zeros((len(items), max_nodes), dtype=np.int64)
+    pad_mask = np.zeros((len(items), max_nodes), dtype=bool)
+    offset = 0
+    for row, n in enumerate(sizes):
+        pad_index[row, :n] = np.arange(offset, offset + n)
+        pad_mask[row, :n] = True
+        offset += n
+    return GraphBatch(
+        context=context,
+        opcodes=opcodes,
+        node_feats=node_feats.astype(np.float32),
+        tile_feats=tile_rows.astype(np.float32),
+        static_feats=static_rows.astype(np.float32),
+        targets=targets,
+        group_ids=group_ids,
+        pad_index=pad_index,
+        pad_mask=pad_mask,
+    )
+
+
+def _family_buckets(families: list[str]) -> dict[str, list[int]]:
+    buckets: dict[str, list[int]] = {}
+    for i, fam in enumerate(families):
+        buckets.setdefault(fam, []).append(i)
+    return buckets
+
+
+class TileBatchSampler:
+    """Family-balanced sampler of (kernel, tile-group) batches.
+
+    Each draw picks ``kernels_per_batch`` kernels (families sampled
+    uniformly, then a kernel within the family) and ``tiles_per_kernel``
+    tile samples per kernel. All tiles of one kernel share a group id so
+    the rank loss only compares within kernels.
+    """
+
+    def __init__(
+        self,
+        records: list[TileRecord],
+        kernels_per_batch: int = 8,
+        tiles_per_kernel: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if not records:
+            raise ValueError("no tile records to sample from")
+        self.records = records
+        self.kernels_per_batch = kernels_per_batch
+        self.tiles_per_kernel = tiles_per_kernel
+        self.rng = np.random.default_rng(seed)
+        self.buckets = _family_buckets([r.family for r in records])
+        self.family_names = sorted(self.buckets)
+
+    def draw_items(self) -> list[BatchItem]:
+        """Raw batch items for :func:`assemble_batch`."""
+        items: list[BatchItem] = []
+        for group in range(self.kernels_per_batch):
+            fam = self.family_names[self.rng.integers(0, len(self.family_names))]
+            rec = self.records[
+                self.buckets[fam][self.rng.integers(0, len(self.buckets[fam]))]
+            ]
+            count = min(self.tiles_per_kernel, rec.num_samples)
+            pick = self.rng.choice(rec.num_samples, size=count, replace=False)
+            for t in pick:
+                items.append(
+                    (rec.features, rec.tile_feats[t], float(rec.runtimes[t]), group)
+                )
+        return items
+
+
+class FusionBatchSampler:
+    """Family-balanced sampler over fusion records (one kernel per item)."""
+
+    def __init__(
+        self,
+        records: list[FusionRecord],
+        batch_size: int = 32,
+        seed: int = 0,
+    ) -> None:
+        if not records:
+            raise ValueError("no fusion records to sample from")
+        self.records = records
+        self.batch_size = batch_size
+        self.rng = np.random.default_rng(seed)
+        self.buckets = _family_buckets([r.family for r in records])
+        self.family_names = sorted(self.buckets)
+
+    def draw_items(self) -> list[BatchItem]:
+        """Raw batch items for :func:`assemble_batch`."""
+        items: list[BatchItem] = []
+        for i in range(self.batch_size):
+            fam = self.family_names[self.rng.integers(0, len(self.family_names))]
+            rec = self.records[
+                self.buckets[fam][self.rng.integers(0, len(self.buckets[fam]))]
+            ]
+            items.append((rec.features, None, rec.runtime, i))
+        return items

@@ -1,0 +1,29 @@
+"""Evaluation metrics and table rendering."""
+from .metrics import (
+    FusionTaskResult,
+    TileTaskResult,
+    evaluate_fusion_task,
+    evaluate_tile_task,
+    geometric_mean,
+    kendall_tau,
+    mape,
+    summarize,
+    tile_size_ape,
+)
+from .plots import bar_chart
+from .reports import format_comparison, format_table
+
+__all__ = [
+    "FusionTaskResult",
+    "bar_chart",
+    "TileTaskResult",
+    "evaluate_fusion_task",
+    "evaluate_tile_task",
+    "format_comparison",
+    "format_table",
+    "geometric_mean",
+    "kendall_tau",
+    "mape",
+    "summarize",
+    "tile_size_ape",
+]

@@ -1,0 +1,52 @@
+"""Tensor-program intermediate representation (XLA HLO analogue).
+
+Public surface: opcodes and their metadata, shapes/dtypes/layouts,
+instructions, graphs/programs, the :class:`GraphBuilder` construction API,
+and JSON serialization.
+"""
+from .builder import GraphBuilder
+from .graph import Graph, GraphError, Program
+from .instruction import Instruction
+from .opcodes import (
+    NUM_OPCODES,
+    OpCategory,
+    Opcode,
+    OpcodeInfo,
+    is_contraction,
+    is_elementwise,
+    is_transcendental,
+    opcode_info,
+)
+from .printer import to_dot
+from .serialize import (
+    graph_from_dict,
+    graph_to_dict,
+    program_from_json,
+    program_to_json,
+)
+from .shapes import DType, Layout, Shape, scalar
+
+__all__ = [
+    "NUM_OPCODES",
+    "DType",
+    "Graph",
+    "GraphBuilder",
+    "GraphError",
+    "Instruction",
+    "Layout",
+    "OpCategory",
+    "Opcode",
+    "OpcodeInfo",
+    "Program",
+    "Shape",
+    "graph_from_dict",
+    "graph_to_dict",
+    "is_contraction",
+    "is_elementwise",
+    "is_transcendental",
+    "opcode_info",
+    "program_from_json",
+    "program_to_json",
+    "scalar",
+    "to_dot",
+]

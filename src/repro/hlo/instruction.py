@@ -1,0 +1,63 @@
+"""HLO instructions: one node of a tensor computation graph.
+
+An instruction consumes the outputs of its operand instructions (tensors)
+and produces exactly one output tensor, matching the paper's graph model
+("a node ... processing one or more input tensors into a single output").
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .opcodes import Opcode, opcode_info
+from .shapes import Shape
+
+
+@dataclass
+class Instruction:
+    """A single primitive tensor operation inside a graph.
+
+    Attributes:
+        id: graph-unique non-negative integer id.
+        opcode: the primitive operation performed.
+        shape: shape of the (single) output tensor.
+        operands: ids of producer instructions, in positional order.
+        attrs: opcode-specific static attributes (e.g. convolution window,
+            reduce dimensions, slice bounds). Keys are strings; values are
+            JSON-serializable (ints, floats, tuples/lists of ints, strings).
+        name: optional human-readable name (defaults to ``opcode%id``).
+        is_root: whether this instruction's output escapes the computation
+            (program output). Used as an extra node feature by the model.
+    """
+
+    id: int
+    opcode: Opcode
+    shape: Shape
+    operands: tuple[int, ...] = ()
+    attrs: dict[str, Any] = field(default_factory=dict)
+    name: str = ""
+    is_root: bool = False
+
+    def __post_init__(self) -> None:
+        self.operands = tuple(int(o) for o in self.operands)
+        if not self.name:
+            self.name = f"{self.opcode.name.lower()}.{self.id}"
+        info = opcode_info(self.opcode)
+        if info.arity >= 0 and len(self.operands) != info.arity:
+            raise ValueError(
+                f"{self.opcode.name} expects {info.arity} operands, "
+                f"got {len(self.operands)}"
+            )
+
+    @property
+    def arity(self) -> int:
+        """Number of operands of this instruction instance."""
+        return len(self.operands)
+
+    def attr(self, key: str, default: Any = None) -> Any:
+        """Fetch a static attribute with a default."""
+        return self.attrs.get(key, default)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        ops = ", ".join(f"%{o}" for o in self.operands)
+        return f"%{self.id} = {self.shape} {self.opcode.name.lower()}({ops})"

@@ -1,0 +1,55 @@
+"""Human-readable renderers for graphs: pretty text and Graphviz dot.
+
+``Graph.__str__`` gives a compact listing; :func:`to_dot` exports the DAG
+for visualization (colored by functional category, like paper Fig. 2's
+kernel blobs).
+"""
+from __future__ import annotations
+
+from .graph import Graph
+from .opcodes import OpCategory, opcode_info
+
+_CATEGORY_COLORS = {
+    OpCategory.PARAMETER: "lightblue",
+    OpCategory.CONSTANT: "lightgrey",
+    OpCategory.ELEMENTWISE: "white",
+    OpCategory.DATA_MOVEMENT: "khaki",
+    OpCategory.REDUCTION: "lightsalmon",
+    OpCategory.CONTRACTION: "lightgreen",
+    OpCategory.SCATTER_GATHER: "plum",
+}
+
+
+def to_dot(graph: Graph, groups: list[set[int]] | None = None) -> str:
+    """Render a graph in Graphviz dot format.
+
+    Args:
+        graph: graph to render.
+        groups: optional fusion groups; each non-trivial group becomes a
+            dot cluster (the gray kernel blobs of the paper's Fig. 2).
+    """
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=TB;", "  node [style=filled];"]
+    grouped: set[int] = set()
+    if groups:
+        for gi, group in enumerate(groups):
+            execs = [i for i in group if i in graph.instructions]
+            if len(execs) < 2:
+                continue
+            lines.append(f"  subgraph cluster_{gi} {{")
+            lines.append('    style=filled; color=gray90; label="kernel %d";' % gi)
+            for i in sorted(execs):
+                lines.append(f"    n{i};")
+                grouped.add(i)
+            lines.append("  }")
+    for inst in graph.topological_order():
+        color = _CATEGORY_COLORS[opcode_info(inst.opcode).category]
+        label = f"{inst.opcode.name.lower()}\\n{inst.shape}"
+        shape = "doubleoctagon" if inst.is_root else "box"
+        lines.append(
+            f'  n{inst.id} [label="{label}", fillcolor={color}, shape={shape}];'
+        )
+    for inst in graph.topological_order():
+        for op in inst.operands:
+            lines.append(f"  n{op} -> n{inst.id};")
+    lines.append("}")
+    return "\n".join(lines)

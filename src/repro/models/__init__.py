@@ -1,0 +1,37 @@
+"""The learned performance model: configuration, architecture, training."""
+from .config import (
+    GNN_CHOICES,
+    LOSS_CHOICES,
+    PLACEMENT_CHOICES,
+    REDUCTION_CHOICES,
+    ModelConfig,
+    TrainConfig,
+)
+from .model import LearnedPerformanceModel
+from .serialize import load_model, save_model
+from .trainer import (
+    TrainResult,
+    fine_tune,
+    predict_fusion_runtimes,
+    predict_tile_scores,
+    train_fusion_model,
+    train_tile_model,
+)
+
+__all__ = [
+    "GNN_CHOICES",
+    "LOSS_CHOICES",
+    "PLACEMENT_CHOICES",
+    "REDUCTION_CHOICES",
+    "LearnedPerformanceModel",
+    "ModelConfig",
+    "TrainConfig",
+    "TrainResult",
+    "fine_tune",
+    "load_model",
+    "predict_fusion_runtimes",
+    "predict_tile_scores",
+    "save_model",
+    "train_fusion_model",
+    "train_tile_model",
+]

@@ -1,0 +1,77 @@
+"""Persistence for trained performance models.
+
+A trained model is (config, parameters, feature scalers); all three are
+saved into one ``.npz`` archive so a model trained once can be shipped to
+the compiler/autotuner without retraining — the deployment mode the paper
+targets (the model is trained offline and queried at compile time).
+"""
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..data.batching import Scalers
+from ..data.features import FeatureScaler
+from .config import ModelConfig
+from .model import LearnedPerformanceModel
+from .trainer import TrainResult
+
+
+def save_model(path: str | Path, result: TrainResult) -> None:
+    """Save a trained model + scalers to ``path`` (.npz).
+
+    Args:
+        path: destination file; parent directories must exist.
+        result: the :class:`TrainResult` from training.
+    """
+    path = Path(path)
+    payload: dict[str, np.ndarray] = {}
+    for name, arr in result.model.state_dict().items():
+        payload[f"param/{name}"] = arr
+    for block in ("node", "tile", "static"):
+        scaler: FeatureScaler = getattr(result.scalers, block)
+        state = scaler.state()
+        payload[f"scaler/{block}/lo"] = state["lo"]
+        payload[f"scaler/{block}/hi"] = state["hi"]
+    config_json = json.dumps(dataclasses.asdict(result.model.config))
+    payload["config"] = np.frombuffer(config_json.encode(), dtype=np.uint8)
+    np.savez_compressed(path, **payload)
+
+
+def load_model(path: str | Path) -> TrainResult:
+    """Load a model saved by :func:`save_model`.
+
+    Returns:
+        A :class:`TrainResult` with the restored model (in eval mode) and
+        scalers; ``loss_history`` is empty.
+
+    Raises:
+        KeyError: if the archive is missing required entries.
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        config_json = bytes(archive["config"]).decode()
+        config = ModelConfig(**json.loads(config_json))
+        model = LearnedPerformanceModel(config)
+        state = {
+            name[len("param/"):]: archive[name]
+            for name in archive.files
+            if name.startswith("param/")
+        }
+        model.load_state_dict(state)
+        scalers = Scalers(
+            node=FeatureScaler.from_state(
+                {"lo": archive["scaler/node/lo"], "hi": archive["scaler/node/hi"]}
+            ),
+            tile=FeatureScaler.from_state(
+                {"lo": archive["scaler/tile/lo"], "hi": archive["scaler/tile/hi"]}
+            ),
+            static=FeatureScaler.from_state(
+                {"lo": archive["scaler/static/lo"], "hi": archive["scaler/static/hi"]}
+            ),
+        )
+    model.eval()
+    return TrainResult(model=model, scalers=scalers, loss_history=[])

@@ -1,0 +1,199 @@
+"""Training loop for the learned performance model."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.batching import (
+    FusionBatchSampler,
+    Scalers,
+    TileBatchSampler,
+    assemble_batch,
+)
+from ..data.dataset import FusionRecord, TileRecord
+from ..nn.losses import log_mse_loss, pairwise_rank_loss
+from ..nn.optim import Adam, clip_global_norm
+from ..nn.tensor import Tensor
+from .config import ModelConfig, TrainConfig
+from .model import LearnedPerformanceModel
+
+
+@dataclass
+class TrainResult:
+    """Artifacts of one training run.
+
+    Attributes:
+        model: the trained model (in eval-ready state).
+        scalers: feature scalers fitted on the training set (must be reused
+            at evaluation time).
+        loss_history: (step, loss) samples.
+    """
+
+    model: LearnedPerformanceModel
+    scalers: Scalers
+    loss_history: list[tuple[int, float]] = field(default_factory=list)
+
+
+def _loss_fn(config: ModelConfig, pred: Tensor, targets: np.ndarray, groups: np.ndarray) -> Tensor:
+    if config.loss == "mse":
+        return log_mse_loss(pred, targets)
+    phi = "hinge" if config.loss == "rank_hinge" else "logistic"
+    return pairwise_rank_loss(pred, targets, groups, phi=phi)
+
+
+def train_tile_model(
+    records: list[TileRecord],
+    config: ModelConfig | None = None,
+    train: TrainConfig | None = None,
+    verbose: bool = False,
+) -> TrainResult:
+    """Train a tile-size model on tile records.
+
+    Args:
+        records: training records (one per kernel, with tile sweeps).
+        config: model configuration; defaults to the paper's best tile model.
+        train: optimization settings.
+        verbose: print loss every ``train.log_every`` steps.
+    """
+    config = config or ModelConfig.paper_best_tile()
+    if config.task != "tile":
+        raise ValueError("train_tile_model requires a task='tile' config")
+    train = train or TrainConfig()
+    scalers = Scalers.fit_tile(records)
+    sampler = TileBatchSampler(
+        records,
+        kernels_per_batch=train.kernels_per_batch,
+        tiles_per_kernel=train.tiles_per_kernel,
+        seed=train.seed,
+    )
+    model = LearnedPerformanceModel(config, seed=train.seed)
+    return _run_loop(model, config, train, scalers, sampler.draw_items, verbose)
+
+
+def train_fusion_model(
+    records: list[FusionRecord],
+    config: ModelConfig | None = None,
+    train: TrainConfig | None = None,
+    verbose: bool = False,
+) -> TrainResult:
+    """Train a fusion (absolute runtime) model on fusion records."""
+    config = config or ModelConfig.paper_best_fusion()
+    if config.task != "fusion":
+        raise ValueError("train_fusion_model requires a task='fusion' config")
+    train = train or TrainConfig()
+    scalers = Scalers.fit_fusion(records)
+    sampler = FusionBatchSampler(records, batch_size=train.batch_size, seed=train.seed)
+    model = LearnedPerformanceModel(config, seed=train.seed)
+    return _run_loop(model, config, train, scalers, sampler.draw_items, verbose)
+
+
+def _run_loop(
+    model: LearnedPerformanceModel,
+    config: ModelConfig,
+    train: TrainConfig,
+    scalers: Scalers,
+    draw_items,
+    verbose: bool,
+) -> TrainResult:
+    opt = Adam(
+        model.parameters(),
+        lr=train.learning_rate,
+        decay=train.lr_decay,
+        decay_every=train.lr_decay_every,
+    )
+    history: list[tuple[int, float]] = []
+    for step in range(train.steps):
+        items = draw_items()
+        batch = assemble_batch(items, scalers, neighbor_cap=config.neighbor_cap)
+        pred = model(batch)
+        loss = _loss_fn(config, pred, batch.targets, batch.group_ids)
+        opt.zero_grad()
+        loss.backward()
+        if train.grad_clip is not None:
+            clip_global_norm(opt.params, train.grad_clip)
+        opt.step()
+        if step % train.log_every == 0 or step == train.steps - 1:
+            history.append((step, float(loss.item())))
+            if verbose:
+                print(f"  step {step:>6}  loss {loss.item():.4f}  lr {opt.lr:.2e}")
+    model.eval()
+    return TrainResult(model=model, scalers=scalers, loss_history=history)
+
+
+def fine_tune(
+    result: TrainResult,
+    records: list[TileRecord] | list[FusionRecord],
+    train: TrainConfig | None = None,
+) -> TrainResult:
+    """Continue training an existing model on additional records.
+
+    The paper highlights this as a key advantage over the analytical model
+    (Sec. 7.1): "if the learned model does not perform well on some
+    benchmarks, we can re-train or fine-tune the model on similar
+    benchmarks". The original feature scalers are kept (features must stay
+    on the scale the network was trained with).
+
+    Args:
+        result: a previous :class:`TrainResult` (modified in place: the
+            same model object keeps training).
+        records: new tile or fusion records matching the model's task.
+        train: optimization settings; defaults to a short schedule.
+    """
+    config = result.model.config
+    train = train or TrainConfig(steps=300)
+    if config.task == "tile":
+        sampler = TileBatchSampler(
+            records,  # type: ignore[arg-type]
+            kernels_per_batch=train.kernels_per_batch,
+            tiles_per_kernel=train.tiles_per_kernel,
+            seed=train.seed,
+        )
+    else:
+        sampler = FusionBatchSampler(
+            records, batch_size=train.batch_size, seed=train.seed  # type: ignore[arg-type]
+        )
+    result.model.train()
+    tuned = _run_loop(result.model, config, train, result.scalers, sampler.draw_items, False)
+    return TrainResult(
+        model=tuned.model,
+        scalers=result.scalers,
+        loss_history=result.loss_history + tuned.loss_history,
+    )
+
+
+# --------------------------------------------------------------- prediction
+def predict_tile_scores(
+    model: LearnedPerformanceModel,
+    scalers: Scalers,
+    record: TileRecord,
+    chunk: int = 64,
+) -> np.ndarray:
+    """Rank scores for every tile sample of one kernel (lower = faster)."""
+    scores = []
+    n = record.num_samples
+    for lo in range(0, n, chunk):
+        hi = min(lo + chunk, n)
+        items = [
+            (record.features, record.tile_feats[t], float(record.runtimes[t]), 0)
+            for t in range(lo, hi)
+        ]
+        batch = assemble_batch(items, scalers, neighbor_cap=model.config.neighbor_cap)
+        scores.append(model.predict(batch))
+    return np.concatenate(scores)
+
+
+def predict_fusion_runtimes(
+    model: LearnedPerformanceModel,
+    scalers: Scalers,
+    records: list[FusionRecord],
+    chunk: int = 64,
+) -> np.ndarray:
+    """Absolute runtime predictions (seconds) for fusion records."""
+    out = []
+    for lo in range(0, len(records), chunk):
+        batch_records = records[lo : lo + chunk]
+        items = [(r.features, None, r.runtime, i) for i, r in enumerate(batch_records)]
+        batch = assemble_batch(items, scalers, neighbor_cap=model.config.neighbor_cap)
+        out.append(model.predict_runtimes(batch))
+    return np.concatenate(out)

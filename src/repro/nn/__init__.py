@@ -1,0 +1,51 @@
+"""From-scratch NumPy neural-network framework (autodiff, layers, optim)."""
+from .attention import MultiHeadAttention, TransformerEncoder, TransformerEncoderLayer
+from .graph_layers import BatchedGraphContext, GATLayer, GraphSAGELayer
+from .layers import (
+    MLP,
+    Dense,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Module,
+    glorot,
+    l2_normalize,
+)
+from .losses import log_mse_loss, pairwise_rank_loss
+from .optim import Adam, Optimizer, SGD, clip_global_norm
+from .rnn import LSTM, LSTMCell
+from .sparse import normalized_adjacency, segment_softmax, segment_sum, spmm
+from .tensor import Tensor, no_grad, ones, zeros
+
+__all__ = [
+    "MLP",
+    "Adam",
+    "BatchedGraphContext",
+    "Dense",
+    "Dropout",
+    "Embedding",
+    "GATLayer",
+    "GraphSAGELayer",
+    "LSTM",
+    "LSTMCell",
+    "LayerNorm",
+    "Module",
+    "MultiHeadAttention",
+    "Optimizer",
+    "SGD",
+    "Tensor",
+    "TransformerEncoder",
+    "TransformerEncoderLayer",
+    "clip_global_norm",
+    "glorot",
+    "l2_normalize",
+    "log_mse_loss",
+    "no_grad",
+    "normalized_adjacency",
+    "ones",
+    "pairwise_rank_loss",
+    "segment_softmax",
+    "segment_sum",
+    "spmm",
+    "zeros",
+]

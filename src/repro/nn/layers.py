@@ -1,0 +1,230 @@
+"""Neural-network modules: parameter containers and core layers."""
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Module:
+    """Base class: tracks parameters and sub-modules for optimizers/serialization."""
+
+    def __init__(self) -> None:
+        self._params: dict[str, Tensor] = {}
+        self._modules: dict[str, Module] = {}
+        self.training = True
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Tensor) and value.requires_grad:
+            self.__dict__.setdefault("_params", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        elif isinstance(value, (list, tuple)) and value and all(
+            isinstance(v, Module) for v in value
+        ):
+            for i, v in enumerate(value):
+                self.__dict__.setdefault("_modules", {})[f"{name}.{i}"] = v
+        object.__setattr__(self, name, value)
+
+    def parameters(self) -> list[Tensor]:
+        """All trainable parameters, depth-first, deterministic order."""
+        out = list(self._params.values())
+        for m in self._modules.values():
+            out.extend(m.parameters())
+        return out
+
+    def named_parameters(self, prefix: str = "") -> list[tuple[str, Tensor]]:
+        """(dotted name, parameter) pairs in :meth:`parameters` order."""
+        out = [(f"{prefix}{k}", v) for k, v in self._params.items()]
+        for name, m in self._modules.items():
+            out.extend(m.named_parameters(prefix=f"{prefix}{name}."))
+        return out
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects dropout)."""
+        self.training = mode
+        for m in self._modules.values():
+            m.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Name -> array snapshot of all parameters."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load a snapshot produced by :meth:`state_dict`.
+
+        Raises:
+            KeyError: if a parameter is missing from ``state``.
+            ValueError: on shape mismatch.
+        """
+        for name, p in self.named_parameters():
+            if name not in state:
+                raise KeyError(f"missing parameter {name!r} in state dict")
+            arr = np.asarray(state[name], dtype=np.float32)
+            if arr.shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: {arr.shape} vs {p.data.shape}"
+                )
+            p.data = arr.copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+def glorot(rng: np.random.Generator, fan_in: int, fan_out: int, shape=None) -> Tensor:
+    """Glorot/Xavier-uniform initialized parameter."""
+    limit = math.sqrt(6.0 / (fan_in + fan_out))
+    shape = shape or (fan_in, fan_out)
+    return Tensor(rng.uniform(-limit, limit, size=shape), requires_grad=True)
+
+
+class Dense(Module):
+    """Affine layer ``x @ W + b`` with optional activation.
+
+    Args:
+        in_features / out_features: matrix dimensions.
+        activation: None, "relu", "tanh" or "sigmoid".
+        bias: include a bias vector (paper App. B uses no per-layer biases
+            in the fixed hyperparameters; the default follows that).
+        rng: parameter-initialization generator.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: str | None = None,
+        bias: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.weight = glorot(rng, in_features, out_features)
+        self.bias = (
+            Tensor(np.zeros(out_features, dtype=np.float32), requires_grad=True)
+            if bias
+            else None
+        )
+        if activation not in (None, "relu", "tanh", "sigmoid"):
+            raise ValueError(f"unknown activation {activation!r}")
+        self.activation = activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        y = x @ self.weight
+        if self.bias is not None:
+            y = y + self.bias
+        if self.activation == "relu":
+            y = y.relu()
+        elif self.activation == "tanh":
+            y = y.tanh()
+        elif self.activation == "sigmoid":
+            y = y.sigmoid()
+        return y
+
+
+class MLP(Module):
+    """Stack of :class:`Dense` layers with ReLU between hidden layers.
+
+    Args:
+        widths: [in, hidden..., out] layer widths.
+        final_activation: activation after the last layer (None = linear).
+    """
+
+    def __init__(
+        self,
+        widths: list[int],
+        final_activation: str | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        layers = []
+        for i in range(len(widths) - 1):
+            act = "relu" if i < len(widths) - 2 else final_activation
+            layers.append(Dense(widths[i], widths[i + 1], activation=act, rng=rng))
+        self.layers = layers
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors.
+
+    Used for the opcode embedding (paper: opcode ids are mapped to a
+    256-dimensional embedding vector learned jointly).
+    """
+
+    def __init__(
+        self, num_embeddings: int, dim: int, rng: np.random.Generator | None = None
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        scale = 1.0 / math.sqrt(dim)
+        self.table = Tensor(
+            rng.normal(0.0, scale, size=(num_embeddings, dim)), requires_grad=True
+        )
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        return self.table.take_rows(np.asarray(ids, dtype=np.int64))
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.gain = Tensor(np.ones(dim, dtype=np.float32), requires_grad=True)
+        self.shift = Tensor(np.zeros(dim, dtype=np.float32), requires_grad=True)
+        self.eps = eps
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = x - mu
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        inv = (var + self.eps) ** -0.5
+        return centered * inv * self.gain + self.shift
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, rate: float, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate {rate} outside [0, 1)")
+        self.rate = rate
+        self.rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        mask = (self.rng.random(x.shape) < keep).astype(np.float32) / keep
+        return x * Tensor(mask)
+
+
+def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """L2-normalize along an axis (GraphSAGE's per-layer normalization)."""
+    sq = (x * x).sum(axis=axis, keepdims=True)
+    return x * ((sq + eps) ** -0.5)

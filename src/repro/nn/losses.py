@@ -1,0 +1,71 @@
+"""Training objectives (paper Sec. 3.3).
+
+Tile-size task: pairwise rank loss over samples of the same kernel
+
+    L = sum_ij phi(y'_i - y'_j) * pos(y_i - y_j) / (n (n-1) / 2)
+
+with phi either hinge ``(1 - z)+`` or logistic ``log(1 + exp(-z))``.
+
+Fusion task: squared error on log-transformed runtimes (targets span
+nanoseconds to a second, hence the log).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def log_mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error with log-transformed targets.
+
+    Args:
+        pred: [n] model outputs interpreted as log-runtimes.
+        target: [n] true runtimes in seconds (positive).
+    """
+    logt = Tensor(np.log(np.maximum(np.asarray(target, dtype=np.float64), 1e-12)))
+    diff = pred - logt
+    return (diff * diff).mean()
+
+
+def pairwise_rank_loss(
+    pred: Tensor,
+    target: np.ndarray,
+    group_ids: np.ndarray,
+    phi: str = "hinge",
+) -> Tensor:
+    """Pairwise rank loss within groups (kernels).
+
+    Only pairs from the same group are compared — the tile-size model ranks
+    tile sizes *within* a kernel and never across kernels (paper Sec. 6.1).
+
+    Args:
+        pred: [n] predicted scores.
+        target: [n] true runtimes.
+        group_ids: [n] kernel id per sample; pairs with differing ids are
+            excluded.
+        phi: "hinge" or "logistic".
+
+    Returns:
+        Scalar loss, averaged over the number of ordered pairs considered.
+    """
+    target = np.asarray(target)
+    group_ids = np.asarray(group_ids)
+    n = len(target)
+    # pos(y_i - y_j): sample i is truly slower than j.
+    pos = (target[:, None] - target[None, :]) > 0
+    same = group_ids[:, None] == group_ids[None, :]
+    pair_mask = (pos & same).astype(np.float32)
+    num_pairs = float(pair_mask.sum())
+    if num_pairs == 0:
+        return (pred * 0.0).sum()
+    diff = pred.reshape(n, 1) - pred.reshape(1, n)  # y'_i - y'_j
+    if phi == "hinge":
+        margin = (1.0 - diff).relu()
+    elif phi == "logistic":
+        # log(1 + e^{-z}) computed stably as relu(-z) + log(1 + e^{-|z|}).
+        nz = -diff
+        margin = nz.maximum(0.0) + ((diff.abs() * -1.0).exp() + 1.0).log()
+    else:
+        raise ValueError(f"unknown phi {phi!r}")
+    return (margin * Tensor(pair_mask)).sum() * (1.0 / num_pairs)

@@ -1,0 +1,111 @@
+"""Optimizers: SGD and Adam with learning-rate decay and gradient clipping.
+
+The paper's training hyperparameters (App. B) include a learning rate, an
+exponential learning-rate decay, an optional gradient-norm clip, and
+dropout; the optimizer surface here mirrors those knobs.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def clip_global_norm(params: list[Tensor], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns:
+        The pre-clip global norm.
+    """
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float((p.grad**2).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for p in params:
+            if p.grad is not None:
+                p.grad *= scale
+    return norm
+
+
+class Optimizer:
+    """Base optimizer over a fixed parameter list."""
+
+    def __init__(self, params: list[Tensor], lr: float, decay: float = 1.0, decay_every: int = 1000) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = list(params)
+        self.base_lr = lr
+        self.decay = decay
+        self.decay_every = decay_every
+        self.step_count = 0
+
+    @property
+    def lr(self) -> float:
+        """Current learning rate after exponential decay."""
+        return self.base_lr * self.decay ** (self.step_count // self.decay_every)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params, lr: float, momentum: float = 0.0, **kwargs) -> None:
+        super().__init__(params, lr, **kwargs)
+        self.momentum = momentum
+        self.velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        lr = self.lr
+        for p, v in zip(self.params, self.velocity):
+            if p.grad is None:
+                continue
+            if self.momentum > 0:
+                v *= self.momentum
+                v += p.grad
+                p.data = p.data - lr * v
+            else:
+                p.data = p.data - lr * p.grad
+        self.step_count += 1
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba)."""
+
+    def __init__(
+        self,
+        params,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        **kwargs,
+    ) -> None:
+        super().__init__(params, lr, **kwargs)
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self.m = [np.zeros_like(p.data) for p in self.params]
+        self.v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.step_count += 1
+        t = self.step_count
+        lr = self.lr
+        b1, b2 = self.beta1, self.beta2
+        correction = np.sqrt(1.0 - b2**t) / (1.0 - b1**t)
+        for p, m, v in zip(self.params, self.m, self.v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            m *= b1
+            m += (1.0 - b1) * g
+            v *= b2
+            v += (1.0 - b2) * (g * g)
+            p.data = p.data - lr * correction * m / (np.sqrt(v) + self.eps)

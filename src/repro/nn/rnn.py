@@ -1,0 +1,64 @@
+"""LSTM sequence modules (kernel-embedding reduction option 2 in the paper)."""
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Dense, Module
+from .tensor import Tensor
+
+
+class LSTMCell(Module):
+    """Single LSTM step with fused gate projection."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.hidden_dim = hidden_dim
+        self.gates = Dense(input_dim + hidden_dim, 4 * hidden_dim, rng=rng)
+
+    def forward(self, x: Tensor, h: Tensor, c: Tensor) -> tuple[Tensor, Tensor]:
+        z = self.gates(Tensor.concat([x, h], axis=-1))
+        hd = self.hidden_dim
+        i = z[:, 0 * hd : 1 * hd].sigmoid()
+        f = (z[:, 1 * hd : 2 * hd] + 1.0).sigmoid()  # forget-gate bias of 1
+        g = z[:, 2 * hd : 3 * hd].tanh()
+        o = z[:, 3 * hd : 4 * hd].sigmoid()
+        c_next = f * c + i * g
+        h_next = o * c_next.tanh()
+        return h_next, c_next
+
+
+class LSTM(Module):
+    """Batched LSTM over padded sequences, returning the final state.
+
+    The paper's LSTM reduction runs over topologically sorted node
+    embeddings and keeps the final state as the kernel embedding; sequences
+    in a batch have different lengths, so a boolean mask freezes (h, c)
+    after each sequence's end.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.cell = LSTMCell(input_dim, hidden_dim, rng=rng)
+        self.hidden_dim = hidden_dim
+
+    def forward(self, x: Tensor, mask: np.ndarray) -> Tensor:
+        """Run over a padded batch.
+
+        Args:
+            x: [batch, time, dim] padded inputs.
+            mask: [batch, time] boolean; True where a real element exists.
+
+        Returns:
+            [batch, hidden] final hidden state of each sequence.
+        """
+        batch, time, _ = x.shape
+        h = Tensor(np.zeros((batch, self.hidden_dim), dtype=np.float32))
+        c = Tensor(np.zeros((batch, self.hidden_dim), dtype=np.float32))
+        for t in range(time):
+            xt = x[:, t, :]
+            h_new, c_new = self.cell(xt, h, c)
+            step = Tensor(mask[:, t : t + 1].astype(np.float32))
+            h = h_new * step + h * (1.0 - step)
+            c = c_new * step + c * (1.0 - step)
+        return h

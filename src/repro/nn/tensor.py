@@ -1,0 +1,432 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+A :class:`Tensor` wraps an ``np.ndarray`` and records the operations applied
+to it on a tape (the ``_parents`` / ``_backward`` fields); calling
+:meth:`Tensor.backward` propagates gradients to every tensor with
+``requires_grad=True``. The op set is exactly what the paper's models need:
+dense algebra, elementwise nonlinearities, reductions, indexing/gather,
+concatenation and masked softmax.
+
+Broadcasting follows NumPy; gradients are un-broadcast by summing over the
+broadcast axes.
+"""
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling tape recording (inference / evaluation)."""
+    global _GRAD_ENABLED
+    prev = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = prev
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum leading broadcast axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum axes that were size-1 in the original shape.
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """A differentiable array.
+
+    Args:
+        data: array or nested sequence; converted to float32 unless already
+            an integer array (integer tensors are index carriers and never
+            require gradients).
+        requires_grad: whether to accumulate gradients into ``self.grad``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __array_priority__ = 100  # so np scalars defer to Tensor dunders
+
+    def __init__(self, data, requires_grad: bool = False) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if not np.issubdtype(arr.dtype, np.integer):
+            arr = arr.astype(np.float32, copy=False)
+        self.data: np.ndarray = arr
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # ------------------------------------------------------------- plumbing
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def item(self) -> float:
+        """Python scalar from a 1-element tensor."""
+        return float(self.data.reshape(-1)[0])
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (no copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """A view of the same data cut off from the tape."""
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tensor(shape={self.shape}, grad={self.requires_grad})"
+
+    @staticmethod
+    def _lift(value) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _make(
+        self,
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float32), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------- backward
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        Args:
+            grad: incoming gradient; defaults to ones (scalar outputs).
+        """
+        if grad is None:
+            grad = np.ones_like(self.data, dtype=np.float32)
+        # Topological order over the tape.
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if p.requires_grad and id(p) not in visited:
+                    stack.append((p, False))
+        grads: dict[int, np.ndarray] = {id(self): np.asarray(grad, dtype=np.float32)}
+        for node in reversed(topo):
+            g = grads.pop(id(node), None)
+            if g is None:
+                continue
+            if node._backward is None:
+                node._accumulate(g)
+                continue
+            node._dispatch(g, grads)
+
+    def _dispatch(self, grad: np.ndarray, grads: dict[int, np.ndarray]) -> None:
+        """Run this node's backward fn, routing parent grads into ``grads``."""
+        contributions = self._backward(grad)  # type: ignore[misc]
+        for parent, contrib in zip(self._parents, contributions):
+            if contrib is None or not parent.requires_grad:
+                continue
+            contrib = _unbroadcast(
+                np.asarray(contrib, dtype=np.float32), parent.data.shape
+            )
+            if parent._backward is None:
+                # Leaf: accumulate into .grad immediately.
+                parent._accumulate(contrib)
+                # Also allow multiple paths through the same leaf.
+                continue
+            key = id(parent)
+            if key in grads:
+                grads[key] = grads[key] + contrib
+            else:
+                grads[key] = contrib
+
+    # ------------------------------------------------------------ arithmetic
+    def __add__(self, other) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data + other.data
+        return self._make(out_data, (self, other), lambda g: (g, g))
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        return self._make(-self.data, (self,), lambda g: (-g,))
+
+    def __sub__(self, other) -> "Tensor":
+        other = self._lift(other)
+        return self._make(self.data - other.data, (self, other), lambda g: (g, -g))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._lift(other) - self
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._lift(other)
+        a, b = self.data, other.data
+        return self._make(a * b, (self, other), lambda g: (g * b, g * a))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._lift(other)
+        a, b = self.data, other.data
+        return self._make(
+            a / b, (self, other), lambda g: (g / b, -g * a / (b * b))
+        )
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._lift(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        a = self.data
+        out = a**exponent
+        return self._make(out, (self,), lambda g: (g * exponent * a ** (exponent - 1),))
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._lift(other)
+        a, b = self.data, other.data
+        out = a @ b
+
+        def backward(g: np.ndarray):
+            if b.ndim == 1:
+                ga = np.outer(g, b) if a.ndim == 2 else g[..., None] * b
+                gb = a.T @ g if a.ndim == 2 else (a * g[..., None]).sum(0)
+            elif a.ndim == 1:
+                ga = g @ b.T if b.ndim == 2 else None
+                gb = np.outer(a, g)
+            else:
+                ga = g @ np.swapaxes(b, -1, -2)
+                gb = np.swapaxes(a, -1, -2) @ g
+            return ga, gb
+
+        return self._make(out, (self, other), backward)
+
+    # ---------------------------------------------------------- elementwise
+    def exp(self) -> "Tensor":
+        out = np.exp(self.data)
+        return self._make(out, (self,), lambda g: (g * out,))
+
+    def log(self) -> "Tensor":
+        a = self.data
+        return self._make(np.log(a), (self,), lambda g: (g / a,))
+
+    def tanh(self) -> "Tensor":
+        out = np.tanh(self.data)
+        return self._make(out, (self,), lambda g: (g * (1.0 - out * out),))
+
+    def sigmoid(self) -> "Tensor":
+        out = 1.0 / (1.0 + np.exp(-self.data))
+        return self._make(out, (self,), lambda g: (g * out * (1.0 - out),))
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        return self._make(
+            np.where(mask, self.data, 0.0), (self,), lambda g: (g * mask,)
+        )
+
+    def sqrt(self) -> "Tensor":
+        out = np.sqrt(self.data)
+        return self._make(out, (self,), lambda g: (g * 0.5 / out,))
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        return self._make(np.abs(self.data), (self,), lambda g: (g * sign,))
+
+    def clip(self, lo: float, hi: float) -> "Tensor":
+        mask = (self.data >= lo) & (self.data <= hi)
+        return self._make(
+            np.clip(self.data, lo, hi), (self,), lambda g: (g * mask,)
+        )
+
+    def maximum(self, other) -> "Tensor":
+        other = self._lift(other)
+        a, b = self.data, other.data
+        mask = a >= b
+        return self._make(
+            np.maximum(a, b), (self, other), lambda g: (g * mask, g * ~mask)
+        )
+
+    # ------------------------------------------------------------ reductions
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.data.shape
+
+        def backward(g: np.ndarray):
+            if axis is None:
+                return (np.broadcast_to(g, shape).astype(np.float32),)
+            gg = g
+            if not keepdims:
+                gg = np.expand_dims(g, axis)
+            return (np.broadcast_to(gg, shape).astype(np.float32),)
+
+        return self._make(out, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        n = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / n)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        out = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray):
+            expanded = out if keepdims else np.expand_dims(out, axis)
+            gg = g if keepdims else np.expand_dims(g, axis)
+            mask = self.data == expanded
+            # Split gradient among ties.
+            counts = mask.sum(axis=axis, keepdims=True)
+            return (gg * mask / counts,)
+
+        return self._make(out, (self,), backward)
+
+    # ------------------------------------------------------------- reshaping
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        orig = self.data.shape
+        return self._make(
+            self.data.reshape(shape), (self,), lambda g: (g.reshape(orig),)
+        )
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(range(self.ndim))[::-1]
+        inv = np.argsort(axes)
+        return self._make(
+            self.data.transpose(axes), (self,), lambda g: (g.transpose(inv),)
+        )
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, key) -> "Tensor":
+        out = self.data[key]
+        shape = self.data.shape
+
+        def backward(g: np.ndarray):
+            full = np.zeros(shape, dtype=np.float32)
+            np.add.at(full, key, g)
+            return (full,)
+
+        return self._make(out, (self,), backward)
+
+    # --------------------------------------------------------- constructions
+    @staticmethod
+    def concat(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._lift(t) for t in tensors]
+        datas = [t.data for t in tensors]
+        out = np.concatenate(datas, axis=axis)
+        sizes = [d.shape[axis] for d in datas]
+        splits = np.cumsum(sizes)[:-1]
+
+        def backward(g: np.ndarray):
+            return tuple(np.split(g, splits, axis=axis))
+
+        proto = tensors[0]
+        return proto._make(out, tuple(tensors), backward)
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._lift(t) for t in tensors]
+        out = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(g: np.ndarray):
+            slices = np.moveaxis(g, axis, 0)
+            return tuple(slices[i] for i in range(len(tensors)))
+
+        return tensors[0]._make(out, tuple(tensors), backward)
+
+    # ------------------------------------------------------------- indexing
+    def take_rows(self, indices: np.ndarray) -> "Tensor":
+        """Gather rows (axis 0); gradient scatter-adds back (embeddings)."""
+        idx = np.asarray(indices)
+        out = self.data[idx]
+        shape = self.data.shape
+
+        def backward(g: np.ndarray):
+            full = np.zeros(shape, dtype=np.float32)
+            np.add.at(full, idx, g)
+            return (full,)
+
+        return self._make(out, (self,), backward)
+
+    # -------------------------------------------------------------- softmax
+    def softmax(self, axis: int = -1, mask: np.ndarray | None = None) -> "Tensor":
+        """Softmax along ``axis``; positions where ``mask`` is False get 0."""
+        x = self.data
+        if mask is not None:
+            x = np.where(mask, x, -1e30)
+        x = x - x.max(axis=axis, keepdims=True)
+        e = np.exp(x)
+        if mask is not None:
+            e = np.where(mask, e, 0.0)
+        denom = e.sum(axis=axis, keepdims=True)
+        out = e / np.maximum(denom, 1e-30)
+
+        def backward(g: np.ndarray):
+            dot = (g * out).sum(axis=axis, keepdims=True)
+            return (out * (g - dot),)
+
+        return self._make(out, (self,), backward)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        x = self.data - self.data.max(axis=axis, keepdims=True)
+        lse = np.log(np.exp(x).sum(axis=axis, keepdims=True))
+        out = x - lse
+        soft = np.exp(out)
+
+        def backward(g: np.ndarray):
+            return (g - soft * g.sum(axis=axis, keepdims=True),)
+
+        return self._make(out, (self,), backward)
+
+
+def zeros(shape: tuple[int, ...], requires_grad: bool = False) -> Tensor:
+    """All-zeros tensor."""
+    return Tensor(np.zeros(shape, dtype=np.float32), requires_grad=requires_grad)
+
+
+def ones(shape: tuple[int, ...], requires_grad: bool = False) -> Tensor:
+    """All-ones tensor."""
+    return Tensor(np.ones(shape, dtype=np.float32), requires_grad=requires_grad)

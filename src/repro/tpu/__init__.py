@@ -1,0 +1,23 @@
+"""TPU substrate: hardware targets, analytical baseline, ground-truth simulator."""
+from .analytical import (
+    AnalyticalBreakdown,
+    AnalyticalModel,
+    CalibratedAnalyticalModel,
+    calibrate_kind_scales,
+)
+from .simulator import SimBreakdown, TpuSimulator
+from .specs import TARGETS, TPU_V2, TPU_V3, TpuTarget, get_target
+
+__all__ = [
+    "TARGETS",
+    "TPU_V2",
+    "TPU_V3",
+    "AnalyticalBreakdown",
+    "AnalyticalModel",
+    "CalibratedAnalyticalModel",
+    "SimBreakdown",
+    "TpuSimulator",
+    "TpuTarget",
+    "calibrate_kind_scales",
+    "get_target",
+]

@@ -1,0 +1,27 @@
+"""Workload corpus: parametric generators for the paper's program families."""
+from . import blocks, sequence, tabular, vision
+from .corpus import (
+    FAMILY_SPEC,
+    MANUAL_HELDOUT_FAMILIES,
+    MANUAL_TEST_PROGRAMS,
+    RANDOM_TEST_PROGRAMS,
+    Split,
+    build_corpus,
+    manual_split,
+    random_split,
+)
+
+__all__ = [
+    "FAMILY_SPEC",
+    "MANUAL_HELDOUT_FAMILIES",
+    "MANUAL_TEST_PROGRAMS",
+    "RANDOM_TEST_PROGRAMS",
+    "Split",
+    "blocks",
+    "build_corpus",
+    "manual_split",
+    "random_split",
+    "sequence",
+    "tabular",
+    "vision",
+]

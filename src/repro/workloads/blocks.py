@@ -1,0 +1,161 @@
+"""Reusable graph-construction blocks shared by the workload generators.
+
+Every helper takes a :class:`~repro.hlo.GraphBuilder` plus instruction ids
+and returns instruction ids, so model-family generators compose them freely.
+Shapes follow NHWC for images and [batch, time, features] for sequences.
+"""
+from __future__ import annotations
+
+from ..hlo.builder import GraphBuilder
+from ..hlo.shapes import DType
+
+
+def conv_block(
+    b: GraphBuilder,
+    x: int,
+    filters: int,
+    kernel: int = 3,
+    strides: tuple[int, int] = (1, 1),
+    activation: bool = True,
+) -> int:
+    """Convolution + folded batch-norm (scale/shift) + optional ReLU."""
+    cin = b.shape_of(x).dims[-1]
+    w = b.constant((kernel, kernel, cin, filters), name="conv_w")
+    y = b.conv2d(x, w, strides=strides, padding="same")
+    y = b.scale_shift(y)
+    if activation:
+        y = b.relu(y)
+    return y
+
+
+def residual_block_v1(b: GraphBuilder, x: int, filters: int, strides=(1, 1)) -> int:
+    """ResNet v1 bottleneck: conv-bn-relu x2 + projection shortcut + relu."""
+    shortcut = x
+    y = conv_block(b, x, filters, kernel=3, strides=strides)
+    y = conv_block(b, y, filters, kernel=3, activation=False)
+    if b.shape_of(shortcut).dims != b.shape_of(y).dims:
+        shortcut = conv_block(b, shortcut, filters, kernel=1, strides=strides, activation=False)
+    out = b.add(y, shortcut)
+    return b.relu(out)
+
+
+def residual_block_v2(b: GraphBuilder, x: int, filters: int, strides=(1, 1)) -> int:
+    """ResNet v2 pre-activation variant: bn-relu-conv x2 + shortcut."""
+    pre = b.relu(b.scale_shift(x))
+    y = conv_block(b, pre, filters, kernel=3, strides=strides, activation=True)
+    cin = b.shape_of(y).dims[-1]
+    w = b.constant((3, 3, cin, filters), name="conv_w")
+    y = b.conv2d(y, w, padding="same")
+    shortcut = x
+    if b.shape_of(shortcut).dims != b.shape_of(y).dims:
+        shortcut = conv_block(b, pre, filters, kernel=1, strides=strides, activation=False)
+    return b.add(y, shortcut)
+
+
+def inception_module(b: GraphBuilder, x: int, filters: int) -> int:
+    """Four parallel towers (1x1 / 3x3 / 5x5 / pool-1x1) concatenated."""
+    f = max(filters // 4, 8)
+    t1 = conv_block(b, x, f, kernel=1)
+    t3 = conv_block(b, conv_block(b, x, f, kernel=1), f, kernel=3)
+    t5 = conv_block(b, conv_block(b, x, f, kernel=1), f, kernel=5)
+    pooled = b.reduce_window(
+        x, window=(1, 3, 3, 1), strides=(1, 1, 1, 1), kind="max", padding="same"
+    )
+    tp = conv_block(b, pooled, f, kernel=1)
+    return b.concatenate([t1, t3, t5, tp], dim=3)
+
+
+def max_pool(b: GraphBuilder, x: int, window: int = 2, stride: int = 2) -> int:
+    """Spatial max pooling for NHWC tensors."""
+    return b.reduce_window(
+        x,
+        window=(1, window, window, 1),
+        strides=(1, stride, stride, 1),
+        kind="max",
+        padding="valid",
+    )
+
+
+def global_average_pool(b: GraphBuilder, x: int) -> int:
+    """Mean over spatial dims of an NHWC tensor: [n,h,w,c] -> [n,c]."""
+    return b.reduce(x, [1, 2], kind="mean")
+
+
+def mlp(b: GraphBuilder, x: int, widths: list[int], final_activation: str | None = None) -> int:
+    """Stack of dense layers; all-but-last use ReLU."""
+    for w in widths[:-1]:
+        x = b.dense(x, w, activation="relu")
+    return b.dense(x, widths[-1], activation=final_activation)
+
+
+def lstm_cell(b: GraphBuilder, x: int, h: int, c: int, hidden: int) -> tuple[int, int]:
+    """One LSTM step expanded into primitives; returns (h_next, c_next)."""
+    xh = b.concatenate([x, h], dim=1)
+    gates = b.dense(xh, 4 * hidden, activation=None)
+    n = b.shape_of(gates).dims[0]
+    i = b.logistic(b.slice(gates, (0, 0), (n, hidden)))
+    f = b.logistic(b.slice(gates, (0, hidden), (n, 2 * hidden)))
+    g = b.tanh(b.slice(gates, (0, 2 * hidden), (n, 3 * hidden)))
+    o = b.logistic(b.slice(gates, (0, 3 * hidden), (n, 4 * hidden)))
+    c_next = b.add(b.multiply(f, c), b.multiply(i, g))
+    h_next = b.multiply(o, b.tanh(c_next))
+    return h_next, c_next
+
+
+def unrolled_lstm(
+    b: GraphBuilder, xs: list[int], hidden: int, batch: int
+) -> list[int]:
+    """Unrolled LSTM over a list of per-step inputs; returns hidden states."""
+    h = b.constant((batch, hidden), name="h0")
+    c = b.constant((batch, hidden), name="c0")
+    outs = []
+    for x in xs:
+        h, c = lstm_cell(b, x, h, c, hidden)
+        outs.append(h)
+    return outs
+
+
+def embedding_lookup(b: GraphBuilder, batch: int, vocab: int, dim: int, name: str = "emb") -> int:
+    """Token-id embedding lookup: ids [batch] -> vectors [batch, dim]."""
+    table = b.constant((vocab, dim), name=f"{name}_table")
+    ids = b.parameter((batch,), dtype=DType.S32, name=f"{name}_ids")
+    return b.gather(table, ids)
+
+
+def sequence_embedding(
+    b: GraphBuilder, batch: int, seq: int, vocab: int, dim: int, name: str = "emb"
+) -> int:
+    """Sequence embedding lookup: ids [batch, seq] -> [batch, seq, dim]."""
+    table = b.constant((vocab, dim), name=f"{name}_table")
+    ids = b.parameter((batch, seq), dtype=DType.S32, name=f"{name}_ids")
+    return b.gather(table, ids)
+
+
+def self_attention(b: GraphBuilder, x: int, dim: int) -> int:
+    """Single-head self-attention over [batch, seq, dim] inputs."""
+    batch, seq, in_dim = b.shape_of(x).dims
+    wq = b.constant((in_dim, dim), name="wq")
+    wk = b.constant((in_dim, dim), name="wk")
+    wv = b.constant((in_dim, dim), name="wv")
+    q = b.dot(x, wq)
+    k = b.dot(x, wk)
+    v = b.dot(x, wv)
+    kt = b.transpose(k, (0, 2, 1))
+    scores = b.dot(q, kt)
+    scale = b.constant((), name="inv_sqrt_d")
+    scores = b.multiply(scores, b.broadcast_scalar(scale, (batch, seq, seq)))
+    attn = b.softmax(scores, dim=-1)
+    return b.dot(attn, v)
+
+
+def transformer_layer(b: GraphBuilder, x: int, dim: int, ff_dim: int) -> int:
+    """Pre-norm transformer encoder layer built from primitives."""
+    attn = self_attention(b, b.layer_norm(x), dim)
+    wo = b.constant((dim, b.shape_of(x).dims[-1]), name="wo")
+    x = b.add(x, b.dot(attn, wo))
+    h = b.layer_norm(x)
+    batch, seq, d = b.shape_of(h).dims
+    h2 = b.reshape(h, (batch * seq, d))
+    h2 = mlp(b, h2, [ff_dim, d])
+    h2 = b.reshape(h2, (batch, seq, d))
+    return b.add(x, h2)

@@ -1,0 +1,173 @@
+"""Sequence model-family generators (RNN / attention workloads)."""
+from __future__ import annotations
+
+from ..hlo.builder import GraphBuilder
+from ..hlo.graph import Program
+from .blocks import (
+    mlp,
+    self_attention,
+    sequence_embedding,
+    transformer_layer,
+    unrolled_lstm,
+)
+
+
+def rnn(variant: int = 0) -> Program:
+    """Plain unrolled LSTM language model."""
+    steps = 4 + variant % 3
+    hidden = 128 * (1 + variant % 3)
+    batch = 16
+    b = GraphBuilder(f"rnn_{variant}")
+    emb = sequence_embedding(b, batch, steps, vocab=4000, dim=hidden)
+    xs = [
+        b.reshape(b.slice(emb, (0, t, 0), (batch, t + 1, hidden)), (batch, hidden))
+        for t in range(steps)
+    ]
+    hs = unrolled_lstm(b, xs, hidden, batch)
+    logits = mlp(b, hs[-1], [hidden, 4000], final_activation=None)
+    return Program(b.graph.name, b.build([logits]), family="rnn")
+
+
+def wavernn(variant: int = 0) -> Program:
+    """WaveRNN-like autoregressive audio model: GRU-ish core + dual softmax."""
+    hidden = 256 * (1 + variant % 2)
+    batch = 16
+    steps = 3 + variant % 3
+    b = GraphBuilder(f"wavernn_{variant}")
+    cond = b.parameter((batch, hidden), name="conditioning")
+    x = b.parameter((batch, hidden), name="samples")
+    h = b.constant((batch, hidden), name="h0")
+    for _ in range(steps):
+        xh = b.concatenate([x, h, cond], dim=1)
+        u = b.logistic(b.dense(xh, hidden, activation=None))
+        r = b.logistic(b.dense(xh, hidden, activation=None))
+        cand = b.tanh(b.dense(b.concatenate([x, b.multiply(r, h)], dim=1), hidden, activation=None))
+        one = b.constant((), name="one")
+        oneb = b.broadcast_scalar(one, (batch, hidden))
+        h = b.add(b.multiply(u, h), b.multiply(b.subtract(oneb, u), cand))
+    coarse = mlp(b, h, [hidden, 1024], final_activation=None)
+    fine = mlp(b, h, [hidden, 1024], final_activation=None)
+    c_sm = b.softmax(coarse)
+    f_sm = b.softmax(fine)
+    return Program(b.graph.name, b.build([c_sm, f_sm]), family="wavernn")
+
+
+def nmt(variant: int = 0) -> Program:
+    """NMT-like encoder-decoder LSTM with additive attention."""
+    hidden = 128 * (1 + variant % 2)
+    batch, src, tgt = 16, 4 + variant % 3, 3
+    b = GraphBuilder(f"nmt_{variant}")
+    src_emb = sequence_embedding(b, batch, src, vocab=4000, dim=hidden, name="src")
+    xs = [
+        b.reshape(b.slice(src_emb, (0, t, 0), (batch, t + 1, hidden)), (batch, hidden))
+        for t in range(src)
+    ]
+    enc = unrolled_lstm(b, xs, hidden, batch)
+    memory = b.concatenate([b.reshape(h, (batch, 1, hidden)) for h in enc], dim=1)
+    tgt_emb = sequence_embedding(b, batch, tgt, vocab=4000, dim=hidden, name="tgt")
+    ys = [
+        b.reshape(b.slice(tgt_emb, (0, t, 0), (batch, t + 1, hidden)), (batch, hidden))
+        for t in range(tgt)
+    ]
+    dec = unrolled_lstm(b, ys, hidden, batch)
+    outs = []
+    for h in dec:
+        q = b.reshape(h, (batch, 1, hidden))
+        scores = b.dot(q, b.transpose(memory, (0, 2, 1)))
+        attn = b.softmax(scores, dim=-1)
+        ctx = b.reshape(b.dot(attn, memory), (batch, hidden))
+        outs.append(mlp(b, b.concatenate([h, ctx], dim=1), [hidden, 4000], final_activation=None))
+    return Program(b.graph.name, b.build(outs), family="nmt")
+
+
+def translate(variant: int = 0) -> Program:
+    """Translate-like deep LSTM stack with residual connections."""
+    hidden = 128 + 64 * (variant % 3)
+    layers = 2 + variant % 2
+    batch, steps = 16, 4
+    b = GraphBuilder(f"translate_{variant}")
+    emb = sequence_embedding(b, batch, steps, vocab=8000, dim=hidden)
+    xs = [
+        b.reshape(b.slice(emb, (0, t, 0), (batch, t + 1, hidden)), (batch, hidden))
+        for t in range(steps)
+    ]
+    for _ in range(layers):
+        hs = unrolled_lstm(b, xs, hidden, batch)
+        xs = [b.add(x, h) for x, h in zip(xs, hs)]
+    logits = mlp(b, xs[-1], [hidden, 8000], final_activation=None)
+    return Program(b.graph.name, b.build([logits]), family="translate")
+
+
+def transformer(variant: int = 0) -> Program:
+    """Transformer encoder stack."""
+    dim = 128 * (1 + variant % 2)
+    layers = 2 + variant % 2
+    batch, seq = 4, 16 + 8 * (variant % 2)
+    b = GraphBuilder(f"transformer_{variant}")
+    x = sequence_embedding(b, batch, seq, vocab=8000, dim=dim)
+    for _ in range(layers):
+        x = transformer_layer(b, x, dim, ff_dim=dim * 4)
+    pooled = b.reduce(x, [1], kind="mean")
+    logits = mlp(b, pooled, [dim, 2], final_activation=None)
+    return Program(b.graph.name, b.build([logits]), family="transformer")
+
+
+def smartcompose(variant: int = 0) -> Program:
+    """SmartCompose-like next-phrase suggester: embeddings + LSTM + beam head."""
+    hidden = 128 + 64 * (variant % 2)
+    batch, steps = 16, 3 + variant % 2
+    b = GraphBuilder(f"smartcompose_{variant}")
+    emb = sequence_embedding(b, batch, steps, vocab=16000, dim=hidden)
+    ctx = b.parameter((batch, hidden), name="context_features")
+    xs = [
+        b.add(
+            b.reshape(b.slice(emb, (0, t, 0), (batch, t + 1, hidden)), (batch, hidden)),
+            ctx,
+        )
+        for t in range(steps)
+    ]
+    hs = unrolled_lstm(b, xs, hidden, batch)
+    logits = mlp(b, hs[-1], [hidden * 2, 16000], final_activation=None)
+    probs = b.softmax(logits)
+    return Program(b.graph.name, b.build([probs]), family="smartcompose")
+
+
+def autocompletion(variant: int = 0) -> Program:
+    """Small auto-completion model (the under-represented family: the paper
+    notes Inception-based models have 400x more kernels than these)."""
+    hidden = 32
+    batch = 8
+    b = GraphBuilder(f"autocompletion_{variant}")
+    emb = sequence_embedding(b, batch, 2, vocab=2000, dim=hidden)
+    x = b.reduce(emb, [1], kind="mean")
+    logits = mlp(b, x, [hidden, 2000], final_activation=None)
+    return Program(b.graph.name, b.build([logits]), family="autocompletion")
+
+
+def char2feats(variant: int = 0) -> Program:
+    """Char2Feats-like text-to-speech frontend: char embeddings + conv1d-ish
+    dense mixing + attention pooling."""
+    dim = 96 + 32 * (variant % 2)
+    batch, seq = 8, 16
+    b = GraphBuilder(f"char2feats_{variant}")
+    x = sequence_embedding(b, batch, seq, vocab=256, dim=dim)
+    x = self_attention(b, x, dim)
+    x2 = b.reshape(x, (batch * seq, dim))
+    feats = mlp(b, x2, [dim * 2, 80], final_activation="relu")
+    out = b.reshape(feats, (batch, seq, 80))
+    return Program(b.graph.name, b.build([out]), family="char2feats")
+
+
+def feats2wave(variant: int = 0) -> Program:
+    """Feats2Wave-like vocoder: upsampling dense stack + tanh waveform head
+    (manual-split test family)."""
+    dim = 160 + 64 * (variant % 2)
+    batch, frames = 4, 16
+    b = GraphBuilder(f"feats2wave_{variant}")
+    feats = b.parameter((batch, frames, 80), name="features")
+    x = b.reshape(feats, (batch * frames, 80))
+    x = mlp(b, x, [dim, dim * 2], final_activation="relu")
+    up = mlp(b, x, [dim * 4], final_activation="relu")
+    wave = mlp(b, up, [256], final_activation="tanh")
+    out = b.reshape(wave, (batch, frames * 256))
+    return Program(b.graph.name, b.build([out]), family="feats2wave")

@@ -1,0 +1,48 @@
+"""Tabular / recommendation model-family generators."""
+from __future__ import annotations
+
+from ..hlo.builder import GraphBuilder
+from ..hlo.graph import Program
+from .blocks import embedding_lookup, mlp
+
+
+def dlrm(variant: int = 0) -> Program:
+    """DLRM-like recommender: sparse embeddings + dense MLP + interactions
+    (exactly one in the corpus, as in the paper)."""
+    dim = 64
+    batch = 64
+    num_tables = 6
+    b = GraphBuilder(f"dlrm_{variant}")
+    dense_in = b.parameter((batch, 13), name="dense_features")
+    bottom = mlp(b, dense_in, [64, dim], final_activation="relu")
+    embs = [
+        embedding_lookup(b, batch, vocab=1000 * (i + 1), dim=dim, name=f"table{i}")
+        for i in range(num_tables)
+    ]
+    feats = [bottom] + embs
+    # Pairwise dot-product interactions.
+    stacked = b.concatenate([b.reshape(f, (batch, 1, dim)) for f in feats], dim=1)
+    inter = b.dot(stacked, b.transpose(stacked, (0, 2, 1)))
+    n = len(feats)
+    flat = b.reshape(inter, (batch, n * n))
+    top_in = b.concatenate([bottom, flat], dim=1)
+    out = mlp(b, top_in, [128, 64, 1], final_activation="sigmoid")
+    return Program(b.graph.name, b.build([out]), family="dlrm")
+
+
+def ranking(variant: int = 0) -> Program:
+    """Ranking-like scorer (manual-split test family): wide embeddings +
+    deep tower + listwise softmax over candidates."""
+    dim = 64 + 32 * (variant % 2)
+    batch, candidates = 16, 16
+    b = GraphBuilder(f"ranking_{variant}")
+    query = b.parameter((batch, dim), name="query_features")
+    cand = b.parameter((batch, candidates, dim), name="candidate_features")
+    qtower = mlp(b, query, [dim * 2, dim], final_activation="relu")
+    c2 = b.reshape(cand, (batch * candidates, dim))
+    ctower = mlp(b, c2, [dim * 2, dim], final_activation="relu")
+    ctower = b.reshape(ctower, (batch, candidates, dim))
+    q3 = b.reshape(qtower, (batch, dim, 1))
+    scores = b.reshape(b.dot(ctower, q3), (batch, candidates))
+    probs = b.softmax(scores)
+    return Program(b.graph.name, b.build([probs]), family="ranking")

@@ -1,0 +1,165 @@
+"""Vision model-family generators (convolutional workloads).
+
+Each generator returns a :class:`~repro.hlo.Program`; the ``variant``
+parameter perturbs depth/width/resolution deterministically so one family
+yields many related-but-distinct programs, reproducing the dataset's
+"many variations of ResNet models, but just one AlexNet" imbalance.
+"""
+from __future__ import annotations
+
+from ..hlo.builder import GraphBuilder
+from ..hlo.graph import Program
+from .blocks import (
+    conv_block,
+    global_average_pool,
+    inception_module,
+    max_pool,
+    mlp,
+    residual_block_v1,
+    residual_block_v2,
+)
+
+
+def _resnet(name: str, family: str, variant: int, block_fn) -> Program:
+    """Shared ResNet scaffold for v1/v2 (depth/width vary with variant)."""
+    depth_per_stage = 1 + variant % 3
+    width = 16 * (1 + variant % 4)
+    batch = 2 + 2 * (variant % 2)
+    b = GraphBuilder(name)
+    x = b.parameter((batch, 32, 32, 3), name="images")
+    y = conv_block(b, x, width, kernel=3)
+    for stage in range(3):
+        strides = (1, 1) if stage == 0 else (2, 2)
+        y = block_fn(b, y, width * (2**stage), strides)
+        for _ in range(depth_per_stage - 1):
+            y = block_fn(b, y, width * (2**stage))
+    y = global_average_pool(b, y)
+    logits = mlp(b, y, [max(64, width * 2), 10])
+    return Program(name, b.build([logits]), family=family)
+
+
+def resnet_v1(variant: int = 0) -> Program:
+    """ResNet v1 classifier variant."""
+    return _resnet(f"resnet_v1_{variant}", "resnet_v1", variant, residual_block_v1)
+
+
+def resnet_v2(variant: int = 0) -> Program:
+    """ResNet v2 (pre-activation) classifier variant."""
+    return _resnet(f"resnet_v2_{variant}", "resnet_v2", variant, residual_block_v2)
+
+
+def resnet_parallel(variant: int = 0) -> Program:
+    """Two parallel ResNet towers with merged heads (fusion-autotuner set)."""
+    b = GraphBuilder(f"resnet_parallel_{variant}")
+    batch = 2 + variant % 2
+    x = b.parameter((batch, 32, 32, 3), name="images")
+    towers = []
+    for _ in range(2):
+        y = conv_block(b, x, 16, kernel=3)
+        for stage in range(2):
+            y = residual_block_v1(b, y, 16 * (2**stage), (2, 2) if stage else (1, 1))
+        towers.append(global_average_pool(b, y))
+    merged = b.concatenate(towers, dim=1)
+    logits = mlp(b, merged, [128, 10])
+    return Program(b.graph.name, b.build([logits]), family="resnet_parallel")
+
+
+def inception(variant: int = 0) -> Program:
+    """Inception-style classifier; deliberately kernel-heavy (the tile-size
+    dataset's most over-represented family, per the paper's imbalance note).
+    """
+    modules = 3 + variant % 4
+    width = 32 + 16 * (variant % 3)
+    b = GraphBuilder(f"inception_{variant}")
+    x = b.parameter((2, 32, 32, 3), name="images")
+    y = conv_block(b, x, 16, kernel=3)
+    y = max_pool(b, y)
+    for m in range(modules):
+        y = inception_module(b, y, width * (1 + m // 2))
+        if m % 2 == 1:
+            y = max_pool(b, y)
+    y = global_average_pool(b, y)
+    logits = mlp(b, y, [256, 100])
+    return Program(b.graph.name, b.build([logits]), family="inception")
+
+
+def alexnet(variant: int = 0) -> Program:
+    """AlexNet-like classifier (exactly one in the corpus, as in the paper)."""
+    b = GraphBuilder(f"alexnet_{variant}")
+    x = b.parameter((4, 64, 64, 3), name="images")
+    y = conv_block(b, x, 48, kernel=5, strides=(2, 2))
+    y = max_pool(b, y)
+    y = conv_block(b, y, 128, kernel=3)
+    y = max_pool(b, y)
+    y = conv_block(b, y, 192, kernel=3)
+    y = conv_block(b, y, 128, kernel=3)
+    y = max_pool(b, y)
+    n, h, w, c = b.shape_of(y).dims
+    flat = b.reshape(y, (n, h * w * c))
+    logits = mlp(b, flat, [512, 256, 10])
+    return Program(b.graph.name, b.build([logits]), family="alexnet")
+
+
+def ssd(variant: int = 0) -> Program:
+    """SSD-like detector: conv backbone + multi-scale box/class heads."""
+    b = GraphBuilder(f"ssd_{variant}")
+    width = 16 * (1 + variant % 3)
+    x = b.parameter((2, 64, 64, 3), name="images")
+    y = conv_block(b, x, width, kernel=3, strides=(2, 2))
+    heads = []
+    for scale in range(3):
+        y = conv_block(b, y, width * (2**scale), kernel=3, strides=(2, 2))
+        boxes = conv_block(b, y, 4 * 4, kernel=3, activation=False)
+        classes = conv_block(b, y, 4 * (10 + variant % 5), kernel=3, activation=False)
+        n, h, w, cb = b.shape_of(boxes).dims
+        heads.append(b.reshape(boxes, (n, h * w * cb)))
+        n, h, w, cc = b.shape_of(classes).dims
+        heads.append(b.reshape(classes, (n, h * w * cc)))
+    out = b.concatenate(heads, dim=1)
+    return Program(b.graph.name, b.build([out]), family="ssd")
+
+
+def convdraw(variant: int = 0) -> Program:
+    """ConvDRAW-like recurrent VAE sketch: conv encoder/decoder iterated.
+
+    Structurally unlike the classifier families (paper: ConvDRAW "differs
+    more from the programs in our training set than any other program").
+    """
+    steps = 2 + variant % 2
+    b = GraphBuilder(f"convdraw_{variant}")
+    x = b.parameter((2, 32, 32, 3), name="images")
+    canvas = b.constant((2, 32, 32, 3), name="canvas0")
+    for _ in range(steps):
+        err = b.subtract(x, b.tanh(canvas))
+        h = conv_block(b, err, 32, kernel=5, strides=(2, 2))
+        h = conv_block(b, h, 64, kernel=3, strides=(2, 2))
+        n, hh, ww, cc = b.shape_of(h).dims
+        z = mlp(b, b.reshape(h, (n, hh * ww * cc)), [128, 64], final_activation="tanh")
+        d = mlp(b, z, [hh * ww * cc])
+        d = b.reshape(d, (n, hh, ww, cc))
+        up = b.reshape(d, (n, hh * 2, ww * 2, cc // 4))
+        delta = conv_block(b, up, 3, kernel=5, activation=False)
+        n2, h2, w2, c2 = b.shape_of(delta).dims
+        rep = b.concatenate([delta, delta, delta, delta], dim=3)
+        delta_full = b.reshape(rep, (n2, h2 * 2, w2 * 2, c2))
+        canvas = b.add(canvas, delta_full)
+    out = b.logistic(canvas)
+    return Program(b.graph.name, b.build([out]), family="convdraw")
+
+
+def image_embed(variant: int = 0) -> Program:
+    """Image-embedding tower (manual-split test family 'ImageEmbed')."""
+    b = GraphBuilder(f"image_embed_{variant}")
+    width = 24 + 8 * (variant % 3)
+    x = b.parameter((4, 48, 48, 3), name="images")
+    y = conv_block(b, x, width, kernel=3, strides=(2, 2))
+    y = residual_block_v1(b, y, width * 2, (2, 2))
+    y = residual_block_v1(b, y, width * 4, (2, 2))
+    y = global_average_pool(b, y)
+    emb = mlp(b, y, [256, 128], final_activation=None)
+    # L2-normalize the embedding.
+    sq = b.multiply(emb, emb)
+    norm = b.reduce(sq, [1], kind="sum")
+    inv = b.rsqrt(norm)
+    out = b.multiply(emb, b.broadcast(inv, b.shape_of(emb).dims, (0,)))
+    return Program(b.graph.name, b.build([out]), family="image_embed")

@@ -1,0 +1,173 @@
+"""Tests for search strategies, evaluators, and the tile/fusion autotuners."""
+import numpy as np
+import pytest
+
+from repro.autotuner import (
+    AnalyticalEvaluator,
+    HardwareEvaluator,
+    LearnedEvaluator,
+    exhaustive_tile_autotune,
+    genetic_search,
+    hardware_fusion_autotune,
+    model_fusion_autotune,
+    model_tile_autotune,
+    random_search,
+    simulated_annealing,
+)
+from repro.compiler import default_tile, enumerate_tile_sizes, fuse_program
+from repro.data import build_fusion_dataset
+from repro.models import ModelConfig, TrainConfig, train_fusion_model
+from repro.tpu import TpuSimulator
+from repro.workloads import sequence, vision
+
+
+@pytest.fixture(scope="module")
+def kernels():
+    p = vision.image_embed(0)
+    ks = [k for k in fuse_program(p.graph, program_name=p.name) if k.has_tile_options()]
+    return ks[:6]
+
+
+@pytest.fixture(scope="module")
+def trained_fusion():
+    ds = build_fusion_dataset([sequence.char2feats(0), sequence.char2feats(1)], configs_per_program=3, seed=0)
+    cfg = ModelConfig(
+        task="fusion", reduction="column-wise", loss="mse",
+        hidden_dim=16, opcode_embedding_dim=8, gnn_layers=2,
+    )
+    return train_fusion_model(ds.records, cfg, TrainConfig(steps=60, batch_size=8, log_every=30))
+
+
+class TestSearchStrategies:
+    def cost(self, x):
+        return (x - 3.0) ** 2
+
+    def test_random_search_finds_low_cost(self):
+        rng = np.random.default_rng(0)
+        res = random_search(lambda r: float(r.uniform(-10, 10)), self.cost, 200, rng)
+        assert res.best_cost < 0.5
+        assert len(res.visited) == 200
+
+    def test_simulated_annealing_improves(self):
+        rng = np.random.default_rng(0)
+        res = simulated_annealing(
+            10.0, self.cost, lambda x, r: x + float(r.normal(0, 0.5)), 300, rng
+        )
+        assert res.best_cost < self.cost(10.0)
+        assert res.best_cost <= min(c for _, c in res.visited) + 1e-12
+
+    def test_simulated_annealing_zero_steps(self):
+        rng = np.random.default_rng(0)
+        res = simulated_annealing(5.0, self.cost, lambda x, r: x, 0, rng)
+        assert res.best_state == 5.0
+
+    def test_genetic_search(self):
+        rng = np.random.default_rng(0)
+        res = genetic_search(
+            sample=lambda r: float(r.uniform(-10, 10)),
+            cost_fn=self.cost,
+            crossover=lambda a, b, r: (a + b) / 2,
+            mutate=lambda x, r: x + float(r.normal(0, 0.2)),
+            rng=rng,
+            population=12,
+            generations=8,
+        )
+        assert res.best_cost < 1.0
+
+
+class TestEvaluators:
+    def test_hardware_metering(self, kernels):
+        hw = HardwareEvaluator(TpuSimulator())
+        hw.kernel_runtime(kernels[0])
+        hw.kernel_runtime(kernels[1])
+        assert hw.evaluations == 2
+        hw.program_runtime(kernels[:3])
+        assert hw.evaluations == 5
+
+    def test_hardware_matches_simulator(self, kernels):
+        sim = TpuSimulator()
+        hw = HardwareEvaluator(sim)
+        k = kernels[0]
+        t = default_tile(k)
+        assert hw.kernel_runtime(k, t) == sim.run(k, t)
+
+    def test_analytical_scores_align_with_estimates(self, kernels):
+        ev = AnalyticalEvaluator()
+        k = kernels[0]
+        tiles = enumerate_tile_sizes(k)[:5]
+        scores = ev.tile_scores(k, tiles)
+        assert scores.shape == (len(tiles),)
+        assert (scores > 0).all()
+
+    def test_learned_evaluator_cache(self, trained_fusion, kernels):
+        ev = LearnedEvaluator(trained_fusion.model, trained_fusion.scalers)
+        v1 = ev.kernel_runtime(kernels[0])
+        v2 = ev.kernel_runtime(kernels[0])
+        assert v1 == v2
+        assert kernels[0].fingerprint() in ev._memo
+
+    def test_learned_program_runtime_sums_kernels(self, trained_fusion, kernels):
+        ev = LearnedEvaluator(trained_fusion.model, trained_fusion.scalers)
+        total = ev.program_runtime(kernels[:3])
+        parts = sum(ev.kernel_runtime(k) for k in kernels[:3])
+        assert total == pytest.approx(parts, rel=1e-5)
+
+
+class TestTileAutotuner:
+    def test_exhaustive_at_least_as_good_as_topk(self, kernels):
+        ex = exhaustive_tile_autotune(kernels, HardwareEvaluator(TpuSimulator()))
+        top = model_tile_autotune(
+            kernels, AnalyticalEvaluator(), HardwareEvaluator(TpuSimulator()), top_k=5
+        )
+        assert ex.program_runtime <= top.program_runtime + 1e-12
+
+    def test_topk_at_least_as_good_as_top1(self, kernels):
+        top10 = model_tile_autotune(
+            kernels, AnalyticalEvaluator(), HardwareEvaluator(TpuSimulator()), top_k=10
+        )
+        top1 = model_tile_autotune(
+            kernels, AnalyticalEvaluator(), HardwareEvaluator(TpuSimulator()), top_k=1
+        )
+        assert top10.program_runtime <= top1.program_runtime + 1e-12
+
+    def test_top1_spends_no_hardware(self, kernels):
+        res = model_tile_autotune(
+            kernels, AnalyticalEvaluator(), HardwareEvaluator(TpuSimulator()), top_k=1
+        )
+        assert res.hardware_evaluations == 0
+
+    def test_exhaustive_budget_equals_candidate_count(self, kernels):
+        hw = HardwareEvaluator(TpuSimulator())
+        res = exhaustive_tile_autotune(kernels, hw)
+        expected = sum(len(enumerate_tile_sizes(k)) for k in kernels)
+        assert res.hardware_evaluations == expected
+
+    def test_speedup_definition(self, kernels):
+        res = exhaustive_tile_autotune(kernels, HardwareEvaluator(TpuSimulator()))
+        assert res.speedup == pytest.approx(res.default_runtime / res.program_runtime)
+        assert res.speedup >= 1.0  # exhaustive includes the default tile
+
+
+class TestFusionAutotuner:
+    def test_hardware_autotuner_improves_or_matches_default(self):
+        p = sequence.char2feats(0)
+        res = hardware_fusion_autotune(p, HardwareEvaluator(TpuSimulator()), budget=20, seed=0)
+        # SA starts at the default config, so the result can't be worse.
+        assert res.runtime <= res.default_runtime * 1.001
+        assert res.hardware_program_evaluations == 20
+
+    def test_model_autotuner_budget_accounting(self, trained_fusion):
+        p = sequence.char2feats(0)
+        ev = LearnedEvaluator(trained_fusion.model, trained_fusion.scalers)
+        res = model_fusion_autotune(
+            p, ev, HardwareEvaluator(TpuSimulator()),
+            model_budget=30, hardware_budget=3, seed=0,
+        )
+        assert res.model_evaluations == 30
+        assert res.hardware_program_evaluations <= 3
+        assert res.runtime > 0
+
+    def test_speedup_property(self):
+        p = sequence.char2feats(1)
+        res = hardware_fusion_autotune(p, HardwareEvaluator(TpuSimulator()), budget=10, seed=1)
+        assert res.speedup == pytest.approx(res.default_runtime / res.runtime)

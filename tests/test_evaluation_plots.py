@@ -1,0 +1,35 @@
+"""Tests for the ASCII bar chart renderer."""
+import pytest
+
+from repro.evaluation import bar_chart
+
+
+class TestBarChart:
+    def test_contains_labels_series_and_values(self):
+        out = bar_chart(
+            ["prog_a", "prog_b"],
+            {"HW": [1.0, 1.2], "CM+HW": [1.1, 1.4]},
+            title="Fig",
+        )
+        for token in ("Fig", "prog_a", "prog_b", "HW", "CM+HW", "1.40"):
+            assert token in out
+
+    def test_bar_lengths_monotone_in_value(self):
+        out = bar_chart(["x"], {"a": [0.5], "b": [2.0]}, baseline=None)
+        lines = [l for l in out.splitlines() if "#" in l]
+        assert lines[0].count("#") < lines[1].count("#")
+
+    def test_baseline_tick_drawn(self):
+        out = bar_chart(["x"], {"a": [2.0]}, baseline=1.0)
+        assert "|" in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["x", "y"], {"a": [1.0]})
+
+    def test_empty_series_values(self):
+        assert bar_chart([], {"a": []}, title="t") == "t"
+
+    def test_zero_values_render(self):
+        out = bar_chart(["x"], {"a": [0.0]}, baseline=None)
+        assert "0.00" in out

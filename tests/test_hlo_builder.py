@@ -1,0 +1,193 @@
+"""Shape-inference tests for the GraphBuilder API."""
+import pytest
+
+from repro.hlo import DType, GraphBuilder, GraphError, Opcode
+
+
+@pytest.fixture
+def b():
+    return GraphBuilder("t")
+
+
+class TestLeaves:
+    def test_parameter_and_constant(self, b):
+        x = b.parameter((2, 3))
+        w = b.constant((3, 4), DType.BF16)
+        assert b.shape_of(x).dims == (2, 3)
+        assert b.shape_of(w).dtype is DType.BF16
+
+    def test_iota(self, b):
+        i = b.iota((5,), dim=0)
+        assert b.shape_of(i).dtype is DType.S32
+
+
+class TestElementwise:
+    def test_unary_preserves_shape(self, b):
+        x = b.parameter((2, 3))
+        assert b.shape_of(b.tanh(x)).dims == (2, 3)
+        assert b.shape_of(b.exp(x)).dims == (2, 3)
+
+    def test_binary_requires_equal_shapes(self, b):
+        x = b.parameter((2, 3))
+        y = b.parameter((3, 2))
+        with pytest.raises(GraphError):
+            b.add(x, y)
+
+    def test_compare_produces_pred(self, b):
+        x = b.parameter((4,))
+        y = b.parameter((4,))
+        assert b.shape_of(b.compare(x, y)).dtype is DType.PRED
+
+    def test_select_shape_checked(self, b):
+        p = b.compare(b.parameter((4,)), b.parameter((4,)))
+        t = b.parameter((4,))
+        f = b.parameter((5,))
+        with pytest.raises(GraphError):
+            b.select(p, t, f)
+
+    def test_convert_changes_dtype(self, b):
+        x = b.parameter((4,), DType.S32)
+        assert b.shape_of(b.convert(x, DType.F32)).dtype is DType.F32
+
+
+class TestDataMovement:
+    def test_broadcast_scalar(self, b):
+        s = b.constant(())
+        out = b.broadcast_scalar(s, (2, 3))
+        assert b.shape_of(out).dims == (2, 3)
+
+    def test_broadcast_in_dim(self, b):
+        v = b.constant((3,))
+        out = b.broadcast_in_dim(v, (2, 3), axis=1)
+        assert b.shape_of(out).dims == (2, 3)
+
+    def test_broadcast_dim_mismatch_rejected(self, b):
+        v = b.constant((3,))
+        with pytest.raises(GraphError):
+            b.broadcast_in_dim(v, (2, 4), axis=1)
+
+    def test_reshape_checks_element_count(self, b):
+        x = b.parameter((2, 6))
+        assert b.shape_of(b.reshape(x, (3, 4))).dims == (3, 4)
+        with pytest.raises(GraphError):
+            b.reshape(x, (5, 2))
+
+    def test_transpose(self, b):
+        x = b.parameter((2, 3, 4))
+        assert b.shape_of(b.transpose(x, (2, 0, 1))).dims == (4, 2, 3)
+        with pytest.raises(GraphError):
+            b.transpose(x, (0, 0, 1))
+
+    def test_slice(self, b):
+        x = b.parameter((10, 10))
+        assert b.shape_of(b.slice(x, (2, 0), (7, 10))).dims == (5, 10)
+        with pytest.raises(GraphError):
+            b.slice(x, (5,), (6,))
+        with pytest.raises(GraphError):
+            b.slice(x, (0, 0), (11, 10))
+
+    def test_concatenate(self, b):
+        x = b.parameter((2, 3))
+        y = b.parameter((2, 5))
+        assert b.shape_of(b.concatenate([x, y], dim=1)).dims == (2, 8)
+        with pytest.raises(GraphError):
+            b.concatenate([x, b.parameter((3, 3))], dim=1)
+
+    def test_pad(self, b):
+        x = b.parameter((4, 4))
+        z = b.constant(())
+        assert b.shape_of(b.pad(x, z, (1, 0), (1, 2))).dims == (6, 6)
+
+
+class TestReductions:
+    def test_reduce_removes_dims(self, b):
+        x = b.parameter((2, 3, 4))
+        assert b.shape_of(b.reduce(x, [1], "sum")).dims == (2, 4)
+        assert b.shape_of(b.reduce(x, [0, 2], "max")).dims == (3,)
+
+    def test_reduce_window_valid(self, b):
+        x = b.parameter((1, 8, 8, 3))
+        y = b.reduce_window(x, (1, 2, 2, 1), (1, 2, 2, 1))
+        assert b.shape_of(y).dims == (1, 4, 4, 3)
+
+    def test_reduce_window_same(self, b):
+        x = b.parameter((1, 7, 7, 3))
+        y = b.reduce_window(x, (1, 3, 3, 1), (1, 2, 2, 1), padding="same")
+        assert b.shape_of(y).dims == (1, 4, 4, 3)
+
+    def test_argmax(self, b):
+        x = b.parameter((4, 10))
+        y = b.argmax(x, dim=1)
+        assert b.shape_of(y).dims == (4,)
+        assert b.shape_of(y).dtype is DType.S32
+
+
+class TestContractions:
+    def test_dot_2d(self, b):
+        x = b.parameter((4, 8))
+        w = b.constant((8, 16))
+        y = b.dot(x, w)
+        assert b.shape_of(y).dims == (4, 16)
+        assert b.graph.get(y).attr("flops") == 2.0 * 4 * 16 * 8
+
+    def test_dot_batched(self, b):
+        x = b.parameter((2, 4, 8))
+        w = b.constant((8, 16))
+        assert b.shape_of(b.dot(x, w)).dims == (2, 4, 16)
+        y = b.parameter((2, 8, 5))
+        assert b.shape_of(b.dot(x, y)).dims == (2, 4, 5)
+
+    def test_dot_contracting_mismatch(self, b):
+        with pytest.raises(GraphError):
+            b.dot(b.parameter((4, 8)), b.constant((9, 16)))
+
+    def test_conv2d_same_and_valid(self, b):
+        x = b.parameter((2, 8, 8, 3))
+        k = b.constant((3, 3, 3, 16))
+        assert b.shape_of(b.conv2d(x, k, padding="same")).dims == (2, 8, 8, 16)
+        assert b.shape_of(b.conv2d(x, k, padding="valid")).dims == (2, 6, 6, 16)
+        assert b.shape_of(b.conv2d(x, k, strides=(2, 2))).dims == (2, 4, 4, 16)
+
+    def test_conv2d_channel_mismatch(self, b):
+        with pytest.raises(GraphError):
+            b.conv2d(b.parameter((2, 8, 8, 3)), b.constant((3, 3, 4, 16)))
+
+    def test_gather(self, b):
+        t = b.constant((100, 16))
+        ids = b.parameter((4, 7), DType.S32)
+        assert b.shape_of(b.gather(t, ids)).dims == (4, 7, 16)
+
+
+class TestComposites:
+    def test_relu_expands_to_maximum(self, b):
+        x = b.parameter((4,))
+        y = b.relu(x)
+        assert b.graph.get(y).opcode is Opcode.MAXIMUM
+
+    def test_softmax_shape_preserved(self, b):
+        x = b.parameter((4, 10))
+        assert b.shape_of(b.softmax(x)).dims == (4, 10)
+
+    def test_layer_norm_shape_preserved(self, b):
+        x = b.parameter((4, 16))
+        assert b.shape_of(b.layer_norm(x)).dims == (4, 16)
+
+    def test_dense_output_width(self, b):
+        x = b.parameter((4, 8))
+        assert b.shape_of(b.dense(x, 32)).dims == (4, 32)
+        with pytest.raises(GraphError):
+            b.dense(x, 32, activation="gelu")
+
+    def test_build_validates_and_marks_roots(self, b):
+        x = b.parameter((4, 8))
+        y = b.dense(x, 2)
+        g = b.build()
+        assert g.get(y).is_root
+        g.validate()
+
+    def test_build_with_explicit_roots(self, b):
+        x = b.parameter((4,))
+        y = b.tanh(x)
+        z = b.exp(y)
+        g = b.build([y, z])
+        assert g.get(y).is_root and g.get(z).is_root

@@ -1,0 +1,46 @@
+"""Tests for the Instruction dataclass."""
+import pytest
+
+from repro.hlo import Instruction, Opcode, Shape
+
+
+class TestInstruction:
+    def test_default_name(self):
+        i = Instruction(3, Opcode.PARAMETER, Shape((4,)))
+        assert i.name == "parameter.3"
+
+    def test_explicit_name_kept(self):
+        i = Instruction(3, Opcode.PARAMETER, Shape((4,)), name="images")
+        assert i.name == "images"
+
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Instruction(0, Opcode.TANH, Shape((4,)), operands=())
+        with pytest.raises(ValueError):
+            Instruction(0, Opcode.ADD, Shape((4,)), operands=(1,))
+
+    def test_variadic_arity_allowed(self):
+        Instruction(5, Opcode.CONCATENATE, Shape((4,)), operands=(1, 2, 3))
+        Instruction(5, Opcode.CONCATENATE, Shape((4,)), operands=(1,))
+
+    def test_operands_normalized_to_ints(self):
+        import numpy as np
+
+        i = Instruction(0, Opcode.ADD, Shape((4,)), operands=(np.int64(1), 2))
+        assert i.operands == (1, 2)
+        assert all(type(o) is int for o in i.operands)
+
+    def test_attr_helper(self):
+        i = Instruction(0, Opcode.PARAMETER, Shape((4,)), attrs={"k": 7})
+        assert i.attr("k") == 7
+        assert i.attr("missing") is None
+        assert i.attr("missing", 3) == 3
+
+    def test_arity_property(self):
+        i = Instruction(0, Opcode.SELECT, Shape((4,)), operands=(1, 2, 3))
+        assert i.arity == 3
+
+    def test_str_contains_opcode_and_ids(self):
+        i = Instruction(7, Opcode.ADD, Shape((4,)), operands=(1, 2))
+        s = str(i)
+        assert "%7" in s and "add" in s and "%1" in s

@@ -1,0 +1,90 @@
+"""Unit and property tests for shapes, layouts and dtypes."""
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hlo import DType, Layout, Shape, scalar
+
+
+class TestDType:
+    def test_byte_sizes(self):
+        assert DType.F32.byte_size == 4
+        assert DType.BF16.byte_size == 2
+        assert DType.S32.byte_size == 4
+        assert DType.PRED.byte_size == 1
+
+
+class TestLayout:
+    def test_default_is_row_major(self):
+        assert Layout.default(3).minor_to_major == (2, 1, 0)
+        assert Layout.default(0).minor_to_major == ()
+
+    def test_default_is_default(self):
+        for rank in range(5):
+            assert Layout.default(rank).is_default()
+
+    def test_non_default_detected(self):
+        assert not Layout((0, 1)).is_default()
+
+    def test_validate_rejects_bad_permutation(self):
+        with pytest.raises(ValueError):
+            Layout((0, 0)).validate(2)
+        with pytest.raises(ValueError):
+            Layout((1, 2)).validate(2)
+
+    @given(st.permutations(range(4)))
+    def test_any_permutation_valid(self, perm):
+        Layout(tuple(perm)).validate(4)
+
+
+class TestShape:
+    def test_scalar(self):
+        s = scalar()
+        assert s.rank == 0
+        assert s.num_elements == 1
+        assert s.byte_size == 4
+
+    def test_num_elements_and_bytes(self):
+        s = Shape((2, 3, 4))
+        assert s.num_elements == 24
+        assert s.byte_size == 96
+        assert Shape((2, 3, 4), DType.BF16).byte_size == 48
+
+    def test_zero_dim_allowed(self):
+        assert Shape((0, 5)).num_elements == 0
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ValueError):
+            Shape((-1, 2))
+
+    def test_default_layout_assigned(self):
+        assert Shape((4, 5)).layout == Layout((1, 0))
+
+    def test_layout_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Shape((4, 5), layout=Layout((2, 1, 0)))
+
+    def test_minor_dim_follows_layout(self):
+        s = Shape((4, 5))
+        assert s.minor_dim() == 5  # row-major: last dim is minor
+        t = s.with_layout(Layout((0, 1)))
+        assert t.minor_dim() == 4
+        assert scalar().minor_dim() is None
+
+    def test_with_dtype_preserves_dims(self):
+        s = Shape((4, 5)).with_dtype(DType.S32)
+        assert s.dims == (4, 5)
+        assert s.dtype is DType.S32
+
+    def test_shapes_hashable_and_equal(self):
+        assert Shape((2, 2)) == Shape((2, 2))
+        assert hash(Shape((2, 2))) == hash(Shape((2, 2)))
+        assert Shape((2, 2)) != Shape((2, 2), DType.BF16)
+
+    @given(st.lists(st.integers(min_value=0, max_value=64), max_size=5))
+    def test_num_elements_is_product(self, dims):
+        s = Shape(tuple(dims))
+        expected = 1
+        for d in dims:
+            expected *= d
+        assert s.num_elements == expected
+        assert s.byte_size == expected * 4

@@ -1,0 +1,110 @@
+"""Tests for model save/load and fine-tuning."""
+import numpy as np
+import pytest
+
+from repro.data import build_fusion_dataset, build_tile_dataset
+from repro.models import (
+    ModelConfig,
+    TrainConfig,
+    fine_tune,
+    load_model,
+    predict_fusion_runtimes,
+    predict_tile_scores,
+    save_model,
+    train_fusion_model,
+    train_tile_model,
+)
+from repro.workloads import sequence, vision
+
+SMALL = dict(hidden_dim=16, opcode_embedding_dim=8, gnn_layers=2, lstm_hidden=16)
+
+
+@pytest.fixture(scope="module")
+def tile_result():
+    ds = build_tile_dataset(
+        [vision.image_embed(0)], max_kernels_per_program=5, max_tiles_per_kernel=6, seed=0
+    )
+    cfg = ModelConfig(task="tile", reduction="column-wise", **SMALL)
+    res = train_tile_model(ds.records, cfg, TrainConfig(steps=40, log_every=20))
+    return ds, res
+
+
+@pytest.fixture(scope="module")
+def fusion_result():
+    ds = build_fusion_dataset([sequence.char2feats(0)], configs_per_program=2, seed=0)
+    cfg = ModelConfig(task="fusion", reduction="column-wise", loss="mse", **SMALL)
+    res = train_fusion_model(ds.records, cfg, TrainConfig(steps=40, batch_size=8, log_every=20))
+    return ds, res
+
+
+class TestSaveLoad:
+    def test_tile_roundtrip(self, tile_result, tmp_path):
+        ds, res = tile_result
+        path = tmp_path / "tile_model.npz"
+        save_model(path, res)
+        loaded = load_model(path)
+        assert loaded.model.config == res.model.config
+        r = ds.records[0]
+        np.testing.assert_allclose(
+            predict_tile_scores(res.model, res.scalers, r),
+            predict_tile_scores(loaded.model, loaded.scalers, r),
+            rtol=1e-3, atol=1e-6,
+        )
+
+    def test_fusion_roundtrip(self, fusion_result, tmp_path):
+        ds, res = fusion_result
+        path = tmp_path / "fusion_model.npz"
+        save_model(path, res)
+        loaded = load_model(path)
+        np.testing.assert_allclose(
+            predict_fusion_runtimes(res.model, res.scalers, ds.records[:4]),
+            predict_fusion_runtimes(loaded.model, loaded.scalers, ds.records[:4]),
+            rtol=1e-3, atol=1e-6,
+        )
+
+    def test_loaded_model_in_eval_mode(self, tile_result, tmp_path):
+        _, res = tile_result
+        path = tmp_path / "m.npz"
+        save_model(path, res)
+        assert not load_model(path).model.training
+
+    def test_scaler_state_preserved(self, tile_result, tmp_path):
+        _, res = tile_result
+        path = tmp_path / "m.npz"
+        save_model(path, res)
+        loaded = load_model(path)
+        np.testing.assert_allclose(res.scalers.node.lo, loaded.scalers.node.lo)
+        np.testing.assert_allclose(res.scalers.tile.hi, loaded.scalers.tile.hi)
+
+
+class TestFineTune:
+    def test_fine_tune_improves_on_new_program(self, tile_result):
+        ds, res = tile_result
+        new_ds = build_tile_dataset(
+            [vision.ssd(0)], max_kernels_per_program=5, max_tiles_per_kernel=6, seed=2
+        )
+        from repro.evaluation import evaluate_tile_task
+
+        def quality(model_result):
+            truths = [r.runtimes for r in new_ds.records]
+            scores = [
+                predict_tile_scores(model_result.model, model_result.scalers, r)
+                for r in new_ds.records
+            ]
+            return evaluate_tile_task(truths, scores).kendall
+
+        before = quality(res)
+        tuned = fine_tune(res, new_ds.records, TrainConfig(steps=120, log_every=40))
+        after = quality(tuned)
+        assert after >= before - 0.05  # typically improves; never collapses
+
+    def test_fine_tune_keeps_scalers(self, tile_result):
+        ds, res = tile_result
+        tuned = fine_tune(res, ds.records, TrainConfig(steps=10, log_every=10))
+        assert tuned.scalers is res.scalers
+
+    def test_fine_tune_extends_history(self, fusion_result):
+        ds, res = fusion_result
+        n = len(res.loss_history)
+        tuned = fine_tune(res, ds.records, TrainConfig(steps=20, batch_size=8, log_every=10))
+        assert len(tuned.loss_history) > n

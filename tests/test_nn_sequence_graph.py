@@ -1,0 +1,196 @@
+"""Tests for LSTM, Transformer and GNN layers (masking and invariances)."""
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.nn import (
+    LSTM,
+    LSTMCell,
+    BatchedGraphContext,
+    GATLayer,
+    GraphSAGELayer,
+    MultiHeadAttention,
+    Tensor,
+    TransformerEncoder,
+)
+
+rng = np.random.default_rng(3)
+
+
+class TestLSTM:
+    def test_cell_shapes(self):
+        cell = LSTMCell(8, 16)
+        h, c = cell(
+            Tensor(rng.normal(size=(4, 8))),
+            Tensor(np.zeros((4, 16))),
+            Tensor(np.zeros((4, 16))),
+        )
+        assert h.shape == (4, 16)
+        assert c.shape == (4, 16)
+
+    def test_final_state_ignores_padding(self):
+        lstm = LSTM(4, 8)
+        x = rng.normal(size=(2, 5, 4)).astype(np.float32)
+        mask = np.array([[True] * 5, [True, True, False, False, False]])
+        out_padded = lstm(Tensor(x), mask).numpy()
+        # Same result if the padding region contains garbage.
+        x2 = x.copy()
+        x2[1, 2:] = 99.0
+        out_garbage = lstm(Tensor(x2), mask).numpy()
+        np.testing.assert_allclose(out_padded[1], out_garbage[1], rtol=1e-5)
+
+    def test_short_sequence_equals_truncated_run(self):
+        lstm = LSTM(4, 8)
+        x = rng.normal(size=(1, 6, 4)).astype(np.float32)
+        mask_full = np.ones((1, 6), dtype=bool)
+        mask_short = np.zeros((1, 6), dtype=bool)
+        mask_short[0, :3] = True
+        out_short = lstm(Tensor(x), mask_short).numpy()
+        out_trunc = lstm(Tensor(x[:, :3]), np.ones((1, 3), dtype=bool)).numpy()
+        np.testing.assert_allclose(out_short, out_trunc, rtol=1e-5)
+
+    def test_gradients_flow(self):
+        lstm = LSTM(4, 8)
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        lstm(x, np.ones((2, 3), dtype=bool)).sum().backward()
+        assert x.grad is not None
+        assert any(p.grad is not None for p in lstm.parameters())
+
+
+class TestAttention:
+    def test_mha_shapes(self):
+        mha = MultiHeadAttention(16, heads=4)
+        x = Tensor(rng.normal(size=(2, 5, 16)))
+        out = mha(x, np.ones((2, 5), dtype=bool))
+        assert out.shape == (2, 5, 16)
+
+    def test_dim_head_divisibility(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(10, heads=4)
+
+    def test_padding_does_not_affect_valid_positions(self):
+        enc = TransformerEncoder(8, layers=1, heads=2)
+        x = rng.normal(size=(1, 6, 8)).astype(np.float32)
+        mask = np.zeros((1, 6), dtype=bool)
+        mask[0, :4] = True
+        out1 = enc(Tensor(x), mask).numpy()
+        x2 = x.copy()
+        x2[0, 4:] = -50.0
+        out2 = enc(Tensor(x2), mask).numpy()
+        np.testing.assert_allclose(out1, out2, rtol=1e-4, atol=1e-5)
+
+    def test_masked_sum_pooling(self):
+        """Pooling is the masked sum followed by the final LayerNorm."""
+        enc = TransformerEncoder(8, layers=0)
+        x = rng.normal(size=(1, 3, 8)).astype(np.float32)
+        mask = np.array([[True, True, False]])
+        out = enc(Tensor(x), mask).numpy()
+        summed = x[0, :2].sum(axis=0)
+        expected = (summed - summed.mean()) / np.sqrt(summed.var() + 1e-5)
+        np.testing.assert_allclose(out[0], expected, rtol=1e-4, atol=1e-5)
+
+    def test_pooling_ignores_masked_positions(self):
+        enc = TransformerEncoder(8, layers=0)
+        x = rng.normal(size=(1, 3, 8)).astype(np.float32)
+        mask = np.array([[True, True, False]])
+        out1 = enc(Tensor(x), mask).numpy()
+        x2 = x.copy()
+        x2[0, 2] = 123.0
+        out2 = enc(Tensor(x2), mask).numpy()
+        np.testing.assert_allclose(out1, out2, rtol=1e-6)
+
+
+def random_contexts(sizes, seed=0):
+    r = np.random.default_rng(seed)
+    adjs = []
+    for n in sizes:
+        a = np.triu((r.random((n, n)) < 0.4).astype(np.float32), 1)
+        adjs.append(sp.csr_matrix(a))
+    return adjs
+
+
+class TestBatchedGraphContext:
+    def test_block_structure(self):
+        adjs = random_contexts([3, 4, 2])
+        ctx = BatchedGraphContext(adjs)
+        assert ctx.num_nodes == 9
+        assert ctx.num_graphs == 3
+        np.testing.assert_array_equal(ctx.graph_ids, [0, 0, 0, 1, 1, 1, 1, 2, 2])
+
+    def test_edges_within_blocks(self):
+        adjs = random_contexts([3, 4])
+        ctx = BatchedGraphContext(adjs)
+        blocks = np.array([0, 0, 0, 1, 1, 1, 1])
+        for src, dst in ctx.edges:
+            assert blocks[src] == blocks[dst]
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            BatchedGraphContext([])
+
+
+class TestGraphSAGE:
+    def test_output_shape(self):
+        ctx = BatchedGraphContext(random_contexts([5, 6]))
+        layer = GraphSAGELayer(8, 12)
+        out = layer(Tensor(rng.normal(size=(11, 8))), ctx.adj_in, ctx.adj_out)
+        assert out.shape == (11, 12)
+
+    def test_l2_normalized_rows(self):
+        ctx = BatchedGraphContext(random_contexts([6]))
+        layer = GraphSAGELayer(8, 8)
+        out = layer(Tensor(rng.normal(size=(6, 8))), ctx.adj_in, ctx.adj_out).numpy()
+        norms = np.linalg.norm(out, axis=-1)
+        # relu can zero a row entirely; others must be unit.
+        assert np.all((np.abs(norms - 1.0) < 1e-4) | (norms < 1e-6))
+
+    def test_batching_invariance(self):
+        """Processing two graphs in one batch == processing them separately."""
+        adjs = random_contexts([4, 5], seed=9)
+        x1 = rng.normal(size=(4, 8)).astype(np.float32)
+        x2 = rng.normal(size=(5, 8)).astype(np.float32)
+        layer = GraphSAGELayer(8, 8)
+        ctx_joint = BatchedGraphContext(adjs)
+        joint = layer(Tensor(np.concatenate([x1, x2])), ctx_joint.adj_in, ctx_joint.adj_out).numpy()
+        c1 = BatchedGraphContext([adjs[0]])
+        c2 = BatchedGraphContext([adjs[1]])
+        s1 = layer(Tensor(x1), c1.adj_in, c1.adj_out).numpy()
+        s2 = layer(Tensor(x2), c2.adj_in, c2.adj_out).numpy()
+        np.testing.assert_allclose(joint, np.concatenate([s1, s2]), rtol=1e-4, atol=1e-5)
+
+    def test_undirected_variant_parameter_count(self):
+        directed = GraphSAGELayer(8, 8, directed=True)
+        undirected = GraphSAGELayer(8, 8, directed=False)
+        assert len(directed.parameters()) > len(undirected.parameters())
+
+    def test_isolated_nodes_keep_self_information(self):
+        a = sp.csr_matrix(np.zeros((3, 3), dtype=np.float32))
+        ctx = BatchedGraphContext([a])
+        layer = GraphSAGELayer(4, 4)
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        out = layer(Tensor(x), ctx.adj_in, ctx.adj_out).numpy()
+        assert np.isfinite(out).all()
+
+
+class TestGAT:
+    def test_output_shape(self):
+        ctx = BatchedGraphContext(random_contexts([5, 4]))
+        layer = GATLayer(8, 8, heads=2)
+        out = layer(Tensor(rng.normal(size=(9, 8))), ctx.edges, ctx.num_nodes)
+        assert out.shape == (9, 8)
+
+    def test_head_divisibility(self):
+        with pytest.raises(ValueError):
+            GATLayer(8, 9, heads=2)
+
+    def test_no_edges_fallback(self):
+        layer = GATLayer(4, 4, heads=2)
+        out = layer(Tensor(rng.normal(size=(3, 4))), np.zeros((0, 2), dtype=np.int64), 3)
+        assert out.shape == (3, 4)
+
+    def test_gradients_flow(self):
+        ctx = BatchedGraphContext(random_contexts([6]))
+        layer = GATLayer(8, 8, heads=2)
+        x = Tensor(rng.normal(size=(6, 8)), requires_grad=True)
+        layer(x, ctx.edges, ctx.num_nodes).sum().backward()
+        assert x.grad is not None

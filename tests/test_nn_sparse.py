@@ -1,0 +1,132 @@
+"""Tests for sparse GNN support: spmm, segment ops, adjacency normalization."""
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.nn import (
+    Tensor,
+    normalized_adjacency,
+    segment_softmax,
+    segment_sum,
+    spmm,
+)
+
+rng = np.random.default_rng(7)
+
+
+class TestSpmm:
+    def test_matches_dense(self):
+        a = sp.random(6, 5, density=0.5, random_state=0, format="csr")
+        x = Tensor(rng.normal(size=(5, 3)))
+        out = spmm(a, x)
+        np.testing.assert_allclose(out.numpy(), a.toarray() @ x.numpy(), rtol=1e-5)
+
+    def test_gradient_is_transpose(self):
+        a = sp.random(4, 4, density=0.6, random_state=1, format="csr")
+        x = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        spmm(a, x).sum().backward()
+        expected = a.T.toarray() @ np.ones((4, 2))
+        np.testing.assert_allclose(x.grad, expected, rtol=1e-5)
+
+
+class TestSegmentSum:
+    def test_forward(self):
+        x = Tensor(np.array([[1.0], [2.0], [3.0], [4.0]]))
+        out = segment_sum(x, np.array([0, 0, 1, 1]), 2)
+        np.testing.assert_allclose(out.numpy(), [[3.0], [7.0]])
+
+    def test_empty_segment_is_zero(self):
+        x = Tensor(np.array([[1.0]]))
+        out = segment_sum(x, np.array([2]), 3)
+        np.testing.assert_allclose(out.numpy(), [[0.0], [0.0], [1.0]])
+
+    def test_gradient_gathers(self):
+        x = Tensor(rng.normal(size=(5, 2)), requires_grad=True)
+        ids = np.array([0, 1, 0, 2, 1])
+        (segment_sum(x, ids, 3) * Tensor(np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]))).sum().backward()
+        expected = np.array([[1, 2], [3, 4], [1, 2], [5, 6], [3, 4]], dtype=np.float64)
+        np.testing.assert_allclose(x.grad, expected, rtol=1e-5)
+
+
+class TestSegmentSoftmax:
+    def test_sums_to_one_per_segment(self):
+        scores = Tensor(rng.normal(size=(6,)))
+        ids = np.array([0, 0, 0, 1, 1, 2])
+        out = segment_softmax(scores, ids, 3).numpy()
+        assert out[:3].sum() == pytest.approx(1.0, abs=1e-5)
+        assert out[3:5].sum() == pytest.approx(1.0, abs=1e-5)
+        assert out[5] == pytest.approx(1.0, abs=1e-5)
+
+    def test_matches_plain_softmax_single_segment(self):
+        scores = rng.normal(size=(5,))
+        out = segment_softmax(Tensor(scores), np.zeros(5, dtype=int), 1).numpy()
+        ref = np.exp(scores - scores.max())
+        ref /= ref.sum()
+        np.testing.assert_allclose(out, ref, rtol=1e-5)
+
+    def test_gradient_against_finite_differences(self):
+        ids = np.array([0, 0, 1, 1, 1])
+        base = rng.normal(size=(5,))
+        w = rng.normal(size=(5,))
+
+        def f(arr):
+            return float((segment_softmax(Tensor(arr), ids, 2).numpy() * w).sum())
+
+        x = Tensor(base.copy(), requires_grad=True)
+        (segment_softmax(x, ids, 2) * Tensor(w)).sum().backward()
+        eps = 1e-3
+        num = np.zeros(5)
+        for i in range(5):
+            up, dn = base.copy(), base.copy()
+            up[i] += eps
+            dn[i] -= eps
+            num[i] = (f(up) - f(dn)) / (2 * eps)
+        np.testing.assert_allclose(x.grad, num, atol=2e-2)
+
+    def test_multihead_scores(self):
+        scores = Tensor(rng.normal(size=(4, 2)))
+        ids = np.array([0, 0, 1, 1])
+        out = segment_softmax(scores, ids, 2).numpy()
+        np.testing.assert_allclose(out[:2].sum(axis=0), [1.0, 1.0], rtol=1e-5)
+
+
+class TestNormalizedAdjacency:
+    def chain(self):
+        a = sp.csr_matrix(np.array([[0, 1, 0], [0, 0, 1], [0, 0, 0]], dtype=np.float32))
+        return a
+
+    def test_in_direction_averages_operands(self):
+        m = normalized_adjacency(self.chain(), "in")
+        h = np.array([[1.0], [2.0], [3.0]])
+        out = m @ h
+        # Node 1's operand is node 0; node 2's operand is node 1.
+        np.testing.assert_allclose(out, [[0.0], [1.0], [2.0]])
+
+    def test_out_direction_averages_users(self):
+        m = normalized_adjacency(self.chain(), "out")
+        h = np.array([[1.0], [2.0], [3.0]])
+        np.testing.assert_allclose(m @ h, [[2.0], [3.0], [0.0]])
+
+    def test_both_symmetrizes(self):
+        m = normalized_adjacency(self.chain(), "both")
+        h = np.array([[1.0], [2.0], [3.0]])
+        np.testing.assert_allclose(m @ h, [[2.0], [2.0], [2.0]])
+
+    def test_rows_sum_to_one_or_zero(self):
+        a = sp.random(10, 10, density=0.3, random_state=3, format="csr")
+        a.data[:] = 1.0
+        m = normalized_adjacency(a, "in")
+        sums = np.asarray(m.sum(axis=1)).reshape(-1)
+        assert np.all((np.abs(sums - 1.0) < 1e-5) | (np.abs(sums) < 1e-8))
+
+    def test_neighbor_cap(self):
+        # Node 0 feeds everyone: in-aggregation rows capped at 2 neighbors.
+        n = 8
+        a = np.zeros((n, n), dtype=np.float32)
+        a[0, 1:] = 1.0
+        m = normalized_adjacency(sp.csr_matrix(a), "out", cap=2)
+        assert m[0].nnz <= 2
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_adjacency(self.chain(), "sideways")

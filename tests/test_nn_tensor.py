@@ -1,0 +1,217 @@
+"""Gradient-correctness and semantics tests for the autodiff engine."""
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor, no_grad, ones, zeros
+
+
+def numeric_grad(f, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central finite differences of scalar-valued f with respect to x."""
+    g = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        old = x[idx]
+        x[idx] = old + eps
+        fp = f()
+        x[idx] = old - eps
+        fm = f()
+        x[idx] = old
+        g[idx] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return g
+
+
+def check_grad(build, x_data, atol=2e-2):
+    """Compare autodiff gradient of sum(build(x)) against finite differences."""
+    x = Tensor(x_data.copy(), requires_grad=True)
+    out = build(x)
+    loss = out.sum() if out.size > 1 else out
+    loss.backward()
+
+    def f():
+        with no_grad():
+            o = build(Tensor(x.data))
+        return float(o.numpy().sum())
+
+    num = numeric_grad(f, x.data)
+    assert x.grad is not None
+    np.testing.assert_allclose(x.grad, num, atol=atol, rtol=2e-2)
+
+
+rng = np.random.default_rng(42)
+
+
+class TestElementwiseGrads:
+    def test_add_mul(self):
+        check_grad(lambda x: x * 3.0 + x * x, rng.normal(size=(3, 4)))
+
+    def test_sub_div(self):
+        check_grad(lambda x: (x - 1.5) / (x * x + 2.0), rng.normal(size=(4,)))
+
+    def test_exp_log(self):
+        check_grad(lambda x: (x.exp() + 1.0).log(), rng.normal(size=(3, 3)))
+
+    def test_tanh_sigmoid(self):
+        check_grad(lambda x: x.tanh() * x.sigmoid(), rng.normal(size=(5,)))
+
+    def test_relu(self):
+        check_grad(lambda x: x.relu() * 2.0, rng.normal(size=(6,)) + 0.3)
+
+    def test_sqrt_abs(self):
+        check_grad(lambda x: (x.abs() + 1.0).sqrt(), rng.normal(size=(4,)))
+
+    def test_pow(self):
+        check_grad(lambda x: (x * x + 1.0) ** 1.5, rng.normal(size=(4,)))
+
+    def test_maximum(self):
+        y = Tensor(rng.normal(size=(5,)))
+        check_grad(lambda x: x.maximum(y), rng.normal(size=(5,)))
+
+    def test_clip(self):
+        w = Tensor(rng.normal(size=(8,)))
+        check_grad(lambda x: x.clip(-0.5, 0.5) * w, rng.normal(size=(8,)))
+
+
+class TestMatmulGrads:
+    def test_2d(self):
+        w = Tensor(rng.normal(size=(4, 3)))
+        check_grad(lambda x: x @ w, rng.normal(size=(2, 4)))
+
+    def test_2d_right(self):
+        a = Tensor(rng.normal(size=(2, 4)))
+        check_grad(lambda x: a @ x, rng.normal(size=(4, 3)))
+
+    def test_batched(self):
+        w = Tensor(rng.normal(size=(2, 4, 3)))
+        check_grad(lambda x: x @ w, rng.normal(size=(2, 5, 4)))
+
+
+class TestBroadcastGrads:
+    def test_row_vector_broadcast(self):
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        x = Tensor(rng.normal(size=(3, 4)))
+        loss = (x + b).sum()
+        loss.backward()
+        np.testing.assert_allclose(b.grad, np.full(4, 3.0), atol=1e-5)
+
+    def test_scalar_broadcast(self):
+        s = Tensor(2.0, requires_grad=True)
+        x = Tensor(rng.normal(size=(3, 4)))
+        (x * s).sum().backward()
+        np.testing.assert_allclose(s.grad, x.numpy().sum(), rtol=1e-5)
+
+    def test_keepdims_broadcast(self):
+        check_grad(lambda x: x - x.mean(axis=1, keepdims=True), rng.normal(size=(3, 5)))
+
+
+class TestReductionGrads:
+    def test_sum_axis(self):
+        check_grad(lambda x: x.sum(axis=0) * 2.0, rng.normal(size=(3, 4)))
+
+    def test_mean(self):
+        check_grad(lambda x: x.mean(), rng.normal(size=(4, 4)))
+
+    def test_max(self):
+        # Use distinct values so the max is differentiable.
+        x = np.arange(12, dtype=np.float64).reshape(3, 4) / 7.0
+        check_grad(lambda t: t.max(axis=1), x)
+
+    def test_max_keepdims(self):
+        x = np.arange(12, dtype=np.float64).reshape(3, 4) / 5.0
+        check_grad(lambda t: t - t.max(axis=1, keepdims=True), x)
+
+
+class TestShapeGrads:
+    def test_reshape_transpose(self):
+        check_grad(lambda x: x.reshape(6, 2).transpose(1, 0), rng.normal(size=(3, 4)))
+
+    def test_getitem(self):
+        check_grad(lambda x: x[1:, :2] * 3.0, rng.normal(size=(3, 4)))
+
+    def test_concat(self):
+        y = Tensor(rng.normal(size=(2, 3)))
+        check_grad(lambda x: Tensor.concat([x, y], axis=0), rng.normal(size=(2, 3)))
+
+    def test_stack(self):
+        y = Tensor(rng.normal(size=(3,)))
+        check_grad(lambda x: Tensor.stack([x, y], axis=0), rng.normal(size=(3,)))
+
+    def test_take_rows(self):
+        idx = np.array([0, 2, 2, 1])
+        check_grad(lambda x: x.take_rows(idx), rng.normal(size=(3, 4)))
+
+
+class TestSoftmaxGrads:
+    def test_softmax(self):
+        check_grad(lambda x: x.softmax(axis=-1) ** 2.0, rng.normal(size=(3, 5)))
+
+    def test_log_softmax(self):
+        check_grad(lambda x: x.log_softmax(axis=-1) * 0.5, rng.normal(size=(2, 6)))
+
+    def test_masked_softmax_zeros_invalid(self):
+        mask = np.array([[True, True, False]])
+        out = Tensor(rng.normal(size=(1, 3))).softmax(axis=-1, mask=mask)
+        assert out.numpy()[0, 2] == 0.0
+        assert out.numpy()[0, :2].sum() == pytest.approx(1.0, abs=1e-5)
+
+
+class TestEngine:
+    def test_grad_accumulates_over_paths(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x + x * 3.0  # dy/dx = 2x + 3 = 7
+        y.backward()
+        np.testing.assert_allclose(x.grad, [7.0], rtol=1e-6)
+
+    def test_diamond_graph_single_backward(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        a = x * 2.0
+        b = a + a  # two paths through `a`
+        b.sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0, 4.0], rtol=1e-6)
+
+    def test_no_grad_blocks_tape(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_detach(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x.detach() * 5.0
+        assert not y.requires_grad
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2.0).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_integer_tensors_stay_integer(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert np.issubdtype(t.data.dtype, np.integer)
+
+    def test_item_and_helpers(self):
+        assert Tensor(np.array([3.5])).item() == pytest.approx(3.5)
+        assert zeros((2, 2)).numpy().sum() == 0.0
+        assert ones((2, 2)).numpy().sum() == 4.0
+
+    def test_T_property(self):
+        x = Tensor(rng.normal(size=(2, 3)))
+        assert x.T.shape == (3, 2)
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            hnp.array_shapes(min_dims=1, max_dims=2, max_side=4),
+            elements=st.floats(-2, 2, allow_nan=False),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sum_grad_is_ones(self, arr):
+        x = Tensor(arr, requires_grad=True)
+        x.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(x.data), rtol=1e-6)
