@@ -1,0 +1,173 @@
+"""Throughput benchmark: cached vs. cold hot paths, as JSON.
+
+Tracks the perf trajectory of the serving-layer foundation introduced with
+the :class:`repro.data.KernelCache`:
+
+* **training-step assembly** — steps/sec of batch assembly for the tile
+  trainer, cold (``assemble_batch`` from scratch every step, the seed
+  behaviour) vs. cached (``KernelCache.assemble`` over a precompiled step
+  plan, the current behaviour);
+* **full training step** — steps/sec including forward/backward, for
+  context on how much of a step assembly used to eat;
+* **autotuner tile scoring** — tiles/sec for repeated-kernel queries,
+  cold (fresh feature extraction + normalization per query, per-candidate
+  model calls) vs. cached+batched (``score_tiles_batched`` on a warm
+  evaluator).
+
+Run with ``REPRO_BENCH_FAST=1`` for the CI smoke configuration. Output is
+a single JSON object on stdout so the numbers can be tracked PR-over-PR
+(see the Performance section of ROADMAP.md).
+"""
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.autotuner import LearnedEvaluator  # noqa: E402
+from repro.compiler import enumerate_tile_sizes  # noqa: E402
+from repro.data import (  # noqa: E402
+    KernelCache,
+    Scalers,
+    TileBatchSampler,
+    assemble_batch,
+    build_tile_dataset,
+)
+from repro.models import (  # noqa: E402
+    LearnedPerformanceModel,
+    ModelConfig,
+    TrainConfig,
+    train_tile_model,
+)
+from repro.models.trainer import compile_step_plan  # noqa: E402
+from repro.workloads import vision  # noqa: E402
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+
+def _timed(fn, repeat: int) -> float:
+    """Wall-clock seconds for ``repeat`` calls of ``fn`` (after one warmup)."""
+    fn()
+    start = time.perf_counter()
+    for _ in range(repeat):
+        fn()
+    return time.perf_counter() - start
+
+
+def bench_training_assembly(records, scalers, steps: int) -> dict:
+    """Cold assemble_batch vs. cached KernelCache.assemble, same draws."""
+    config = ModelConfig.paper_best_tile()
+    sampler = TileBatchSampler(records, kernels_per_batch=8, tiles_per_kernel=4)
+    plan = compile_step_plan(sampler.draw_items, steps)
+
+    def cold():
+        for items in plan:
+            assemble_batch(items, scalers, neighbor_cap=config.neighbor_cap)
+
+    cache = KernelCache(scalers, neighbor_cap=config.neighbor_cap)
+    for items in plan:  # warm the per-kernel entries
+        cache.assemble(items)
+
+    def cached():
+        for items in plan:
+            cache.assemble(items)
+
+    cold_s = _timed(cold, 1)
+    cached_s = _timed(cached, 1)
+    return {
+        "steps": steps,
+        "cold_steps_per_sec": steps / cold_s,
+        "cached_steps_per_sec": steps / cached_s,
+        "speedup": cold_s / cached_s,
+        "kernel_cache_hits": cache.hits,
+        "kernel_cache_misses": cache.misses,
+    }
+
+
+def bench_full_training(records, steps: int) -> dict:
+    """End-to-end steps/sec of the (cache-backed) training loop."""
+    start = time.perf_counter()
+    train_tile_model(records, train=TrainConfig(steps=steps, log_every=steps))
+    elapsed = time.perf_counter() - start
+    return {"steps": steps, "steps_per_sec": steps / elapsed}
+
+
+def bench_autotuner_scoring(records, scalers, queries: int) -> dict:
+    """Repeated-kernel tile scoring: per-candidate cold calls vs. batched."""
+    config = ModelConfig.paper_best_tile()
+    model = LearnedPerformanceModel(config)
+    model.eval()
+    # The kernel with the most candidates — the one an autotuner hammers.
+    record = max(records, key=lambda r: len(enumerate_tile_sizes(r.kernel)))
+    kernel = record.kernel
+    tiles = enumerate_tile_sizes(kernel)
+
+    cold_eval = LearnedEvaluator(model, scalers, cache=False)
+
+    def cold():
+        # The seed behaviour a per-candidate search strategy induces:
+        # every candidate is a fresh query with its own feature
+        # extraction, normalization, and single-item forward pass.
+        for tile in tiles:
+            cold_eval.tile_scores(kernel, [tile])
+
+    warm_eval = LearnedEvaluator(model, scalers, cache=True)
+    warm_eval.score_tiles_batched(kernel, tiles)  # warm the caches
+
+    def cached():
+        warm_eval.score_tiles_batched(kernel, tiles)
+
+    repeat = max(queries // max(len(tiles), 1), 1)
+    cold_s = _timed(cold, repeat)
+    cached_s = _timed(cached, repeat)
+    scored = repeat * len(tiles)
+    return {
+        "kernel_nodes": int(record.features.num_nodes),
+        "candidate_tiles": len(tiles),
+        "queries": scored,
+        "cold_tiles_per_sec": scored / cold_s,
+        "cached_tiles_per_sec": scored / cached_s,
+        "speedup": cold_s / cached_s,
+        "feature_cache_hits": warm_eval.feature_cache_hits,
+        "feature_cache_misses": warm_eval.feature_cache_misses,
+    }
+
+
+def main() -> dict:
+    programs = [vision.resnet_v1(0), vision.alexnet(0)]
+    if not FAST:
+        programs += [vision.inception(0), vision.ssd(0)]
+    dataset = build_tile_dataset(
+        programs, max_tiles_per_kernel=8 if FAST else 16, seed=0
+    )
+    records = dataset.records
+    scalers = Scalers.fit_tile(records)
+
+    assembly_steps = 30 if FAST else 150
+    train_steps = 10 if FAST else 60
+    scoring_queries = 60 if FAST else 400
+
+    report = {
+        "benchmark": "bench_throughput",
+        "fast_mode": FAST,
+        "num_kernels": len(records),
+        "training_assembly": bench_training_assembly(records, scalers, assembly_steps),
+        "full_training": bench_full_training(records, train_steps),
+        "autotuner_scoring": bench_autotuner_scoring(records, scalers, scoring_queries),
+    }
+    return report
+
+
+if __name__ == "__main__":
+    report = main()
+    print(json.dumps(report, indent=2))
+    ok = (
+        report["training_assembly"]["speedup"] >= 1.0
+        and report["autotuner_scoring"]["speedup"] >= 1.0
+    )
+    sys.exit(0 if ok else 1)

@@ -5,7 +5,13 @@ from .fusion_tuner import (
     hardware_fusion_autotune,
     model_fusion_autotune,
 )
-from .search import SearchResult, genetic_search, random_search, simulated_annealing
+from .search import (
+    SearchResult,
+    genetic_search,
+    parallel_annealing,
+    random_search,
+    simulated_annealing,
+)
 from .tile import TileTuningResult, exhaustive_tile_autotune, model_tile_autotune
 
 __all__ = [
@@ -20,6 +26,7 @@ __all__ = [
     "hardware_fusion_autotune",
     "model_fusion_autotune",
     "model_tile_autotune",
+    "parallel_annealing",
     "random_search",
     "simulated_annealing",
 ]

@@ -21,7 +21,13 @@ import numpy as np
 from ..compiler.fusion import FusionConfig, FusionParams, default_fusion, fuse_program, fusible_edges
 from ..hlo.graph import Graph, Program
 from .evaluators import HardwareEvaluator, LearnedEvaluator
-from .search import SearchResult, simulated_annealing
+from .search import (
+    SearchResult,
+    genetic_search,
+    parallel_annealing,
+    random_search,
+    simulated_annealing,
+)
 
 
 @dataclass
@@ -57,6 +63,14 @@ def _true_runtime(program: Program, config: FusionConfig | None, hardware: Hardw
 def _neighbor(config: FusionConfig, rng: np.random.Generator) -> FusionConfig:
     """SA proposal: flip 1-3 random edge decisions."""
     return config.mutate(rng, num_flips=int(rng.integers(1, 4)))
+
+
+def _crossover(a: FusionConfig, b: FusionConfig, rng: np.random.Generator) -> FusionConfig:
+    """Uniform crossover: each edge decision drawn from either parent."""
+    mask = rng.random(len(a.decisions)) < 0.5
+    return FusionConfig(
+        tuple(da if m else db for da, db, m in zip(a.decisions, b.decisions, mask))
+    )
 
 
 def hardware_fusion_autotune(
@@ -110,26 +124,96 @@ def model_fusion_autotune(
     params: FusionParams | None = None,
     seed: int = 0,
     start: FusionConfig | None = None,
+    chains: int = 1,
+    strategy: str = "annealing",
 ) -> FusionTuningResult:
     """Learned-model-guided tuning ('Cost model + HW m' bars of Fig. 5).
 
-    Simulated annealing explores ``model_budget`` configurations priced by
+    A search strategy explores ``model_budget`` configurations priced by
     the learned model; the distinct configurations are then verified on
     hardware in predicted-cost order, spending ``hardware_budget``
     whole-program runs; the best verified configuration wins.
+
+    ``strategy`` selects the explorer (paper Fig. 1 lists all three):
+
+    * ``"annealing"`` (default) — simulated annealing from the compiler
+      default. With ``chains > 1`` the budget is spent by
+      :func:`repro.autotuner.search.parallel_annealing`: independent
+      chains step in lockstep and every step's proposals are priced in a
+      single batched model call.
+    * ``"genetic"`` — elitist genetic search over edge decisions, each
+      generation's offspring priced in one batched call.
+    * ``"random"`` — independent random configurations, priced in one
+      batched call.
+
+    All batched paths go through
+    :meth:`LearnedEvaluator.program_runtimes_batched`, which dedupes
+    shared kernels across the population — much higher model-query
+    throughput for the same total budget.
     """
     params = params or FusionParams()
     rng = np.random.default_rng(seed)
     initial = start if start is not None else default_fusion(program.graph, params)
     model_evals = 0
 
+    def _fused(config: FusionConfig):
+        return fuse_program(program.graph, config=config, params=params, program_name=program.name)
+
     def model_cost(config: FusionConfig) -> float:
         nonlocal model_evals
         model_evals += 1
-        kernels = fuse_program(program.graph, config=config, params=params, program_name=program.name)
-        return learned.program_runtime(kernels)
+        return learned.program_runtime(_fused(config))
 
-    search = simulated_annealing(initial, model_cost, _neighbor, steps=model_budget - 1, rng=rng)
+    def model_cost_batch(configs: list[FusionConfig]) -> np.ndarray:
+        nonlocal model_evals
+        model_evals += len(configs)
+        return learned.program_runtimes_batched([_fused(c) for c in configs])
+
+    if strategy == "random" or (strategy == "genetic" and model_budget < 2):
+        # A genetic population needs at least two members; below that the
+        # budget only buys independent samples anyway.
+        num_edges = len(initial.decisions)
+        search = random_search(
+            lambda r: FusionConfig.random(num_edges, r),
+            model_cost,
+            steps=model_budget,
+            rng=rng,
+            batch_cost_fn=model_cost_batch,
+        )
+    elif strategy == "genetic":
+        # Spend at most model_budget evaluations: the initial population
+        # costs `population`, every later generation `population - elite`.
+        population = min(16, max(model_budget, 2))
+        elite = max(population // 4, 1)
+        num_edges = len(initial.decisions)
+        generations = max((model_budget - population) // (population - elite), 0)
+        search = genetic_search(
+            lambda r: FusionConfig.random(num_edges, r),
+            model_cost,
+            _crossover,
+            _neighbor,
+            rng=rng,
+            population=population,
+            generations=generations,
+            elite=elite,
+            batch_cost_fn=model_cost_batch,
+        )
+    elif strategy != "annealing":
+        raise ValueError(f"unknown strategy {strategy!r}")
+    elif chains > 1:
+        # Never overspend the metered budget: each chain costs one initial
+        # evaluation plus one per step, so cap the chain count at the budget
+        # and round the remaining budget down to a whole number of steps
+        # (with chains > 1 up to chains-1 evaluations of a non-divisible
+        # budget go unspent; model_evaluations reports the exact spend).
+        n_chains = min(chains, max(model_budget, 1))
+        initials = [initial] + [_neighbor(initial, rng) for _ in range(n_chains - 1)]
+        steps = max(model_budget // n_chains - 1, 0)
+        search = parallel_annealing(
+            initials, model_cost_batch, _neighbor, steps=steps, rng=rng
+        )
+    else:
+        search = simulated_annealing(initial, model_cost, _neighbor, steps=model_budget - 1, rng=rng)
 
     # Rank distinct visited configs by predicted cost; verify top ones on HW.
     seen: dict[tuple[bool, ...], float] = {}
@@ -149,6 +233,13 @@ def model_fusion_autotune(
         if rt < best_rt:
             best_rt, best_config = rt, config
     default_rt = _true_runtime(program, None, hardware, params)
+    # Never return a configuration verified to be worse than the starting
+    # point — strategies seeded away from the compiler default ("random",
+    # "genetic") can otherwise hand back a regression when the model
+    # misranks and the hardware budget is small.
+    start_rt = default_rt if start is None else _true_runtime(program, start, hardware, params)
+    if start_rt < best_rt:
+        best_config, best_rt = initial, start_rt
     return FusionTuningResult(
         config=best_config,
         runtime=_true_runtime(program, best_config, hardware, params),

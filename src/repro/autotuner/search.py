@@ -1,14 +1,30 @@
 """Generic search strategies for the autotuner (paper Fig. 1 lists random,
 genetic, simulated annealing...; the fusion autotuner uses simulated
-annealing, the dataset generator uses random search)."""
+annealing, the dataset generator uses random search).
+
+All strategies support *population-level batched scoring*: pass
+``batch_cost_fn`` (a ``list[state] -> sequence[float]`` callable) and
+candidates are priced in bulk — one model forward per population instead
+of one per candidate — which is how a learned cost model amortizes batch
+assembly (see :meth:`repro.autotuner.LearnedEvaluator.score_tiles_batched`
+/ ``program_runtimes_batched``). Because ``cost_fn`` never consumes the
+rng, batched runs visit the exact same states and return the exact same
+results as sequential runs. Simulated annealing is inherently sequential
+(each acceptance gates the next proposal), so its batched counterpart is
+:func:`parallel_annealing` — independent chains stepped in lockstep with
+one batched scoring call per step.
+"""
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Generic, TypeVar
+from typing import Callable, Generic, Sequence, TypeVar
 
 import numpy as np
 
 S = TypeVar("S")
+
+#: Bulk scorer: prices a population of states in one call.
+BatchCostFn = Callable[[list[S]], "Sequence[float] | np.ndarray"]
 
 
 @dataclass
@@ -34,14 +50,27 @@ def random_search(
     cost_fn: Callable[[S], float],
     steps: int,
     rng: np.random.Generator,
+    batch_cost_fn: BatchCostFn | None = None,
 ) -> SearchResult[S]:
-    """Independent random sampling."""
+    """Independent random sampling.
+
+    With ``batch_cost_fn`` all states are drawn first and priced in one
+    call; results are identical to the sequential path (``cost_fn`` does
+    not consume the rng, so the draw sequence is unchanged).
+    """
     best_state: S | None = None
     best_cost = float("inf")
     result: SearchResult[S] = SearchResult(best_state, best_cost)  # type: ignore[arg-type]
-    for step in range(steps):
-        state = sample(rng)
-        cost = cost_fn(state)
+    if batch_cost_fn is not None:
+        states = [sample(rng) for _ in range(steps)]
+        costs = [float(c) for c in batch_cost_fn(states)]
+    else:
+        states, costs = [], []
+        for _ in range(steps):
+            state = sample(rng)
+            states.append(state)
+            costs.append(cost_fn(state))
+    for step, (state, cost) in enumerate(zip(states, costs)):
         result.visited.append((state, cost))
         if cost < best_cost:
             best_state, best_cost = state, cost
@@ -98,6 +127,60 @@ def simulated_annealing(
     return result
 
 
+def parallel_annealing(
+    initials: list[S],
+    batch_cost_fn: BatchCostFn,
+    neighbor_fn: Callable[[S, np.random.Generator], S],
+    steps: int,
+    rng: np.random.Generator,
+    initial_temperature: float = 1.0,
+    final_temperature: float = 1e-3,
+) -> SearchResult[S]:
+    """Batched simulated annealing: independent chains in lockstep.
+
+    Sequential annealing cannot batch within a chain (each acceptance
+    gates the next proposal), so this runs ``len(initials)`` independent
+    chains and prices all per-step proposals with **one**
+    ``batch_cost_fn`` call — with a learned evaluator that is one model
+    forward per step for the whole population. Each chain normalizes
+    costs by its own initial cost and follows the same geometric cooling
+    as :func:`simulated_annealing`.
+
+    Args:
+        initials: starting state per chain (diversify for coverage).
+        batch_cost_fn: bulk scorer over a population of states.
+        neighbor_fn: proposal distribution.
+        steps: proposals *per chain*.
+        rng: randomness source (shared; consumed chain-by-chain per step).
+        initial_temperature / final_temperature: cooling endpoints.
+    """
+    if not initials:
+        raise ValueError("parallel_annealing needs at least one chain")
+    current = list(initials)
+    current_costs = [float(c) for c in batch_cost_fn(current)]
+    scales = [max(abs(c), 1e-30) for c in current_costs]
+    best = int(np.argmin(current_costs))
+    result: SearchResult[S] = SearchResult(current[best], current_costs[best])
+    result.visited.extend(zip(current, current_costs))
+    if steps <= 0:
+        return result
+    alpha = (final_temperature / initial_temperature) ** (1.0 / steps)
+    temp = initial_temperature
+    for step in range(steps):
+        proposals = [neighbor_fn(s, rng) for s in current]
+        costs = [float(c) for c in batch_cost_fn(proposals)]
+        result.visited.extend(zip(proposals, costs))
+        for i, (candidate, cost) in enumerate(zip(proposals, costs)):
+            delta = (cost - current_costs[i]) / scales[i]
+            if delta <= 0 or rng.random() < np.exp(-delta / max(temp, 1e-12)):
+                current[i], current_costs[i] = candidate, cost
+                result.history.append((step, cost))
+            if cost < result.best_cost:
+                result.best_state, result.best_cost = candidate, cost
+        temp *= alpha
+    return result
+
+
 def genetic_search(
     sample: Callable[[np.random.Generator], S],
     cost_fn: Callable[[S], float],
@@ -107,9 +190,23 @@ def genetic_search(
     population: int = 16,
     generations: int = 10,
     elite: int = 4,
+    batch_cost_fn: BatchCostFn | None = None,
 ) -> SearchResult[S]:
-    """Simple elitist genetic algorithm."""
-    pop = [(s := sample(rng), cost_fn(s)) for _ in range(population)]
+    """Simple elitist genetic algorithm.
+
+    With ``batch_cost_fn`` the initial population and each generation's
+    offspring are priced in one call per generation instead of one per
+    individual; selection/crossover/mutation draw from the rng in the same
+    order either way, so the search trajectory is identical.
+    """
+
+    def score(states: list[S]) -> list[float]:
+        if batch_cost_fn is not None:
+            return [float(c) for c in batch_cost_fn(states)]
+        return [cost_fn(s) for s in states]
+
+    seeds = [sample(rng) for _ in range(population)]
+    pop = list(zip(seeds, score(seeds)))
     result: SearchResult[S] = SearchResult(pop[0][0], pop[0][1])
     result.visited.extend(pop)
     for gen in range(generations):
@@ -117,13 +214,14 @@ def genetic_search(
         result.history.append((gen, pop[0][1]))
         parents = pop[:elite]
         children = list(parents)
-        while len(children) < population:
+        offspring: list[S] = []
+        while len(children) + len(offspring) < population:
             a = parents[rng.integers(0, elite)][0]
             b = parents[rng.integers(0, elite)][0]
-            child = mutate(crossover(a, b, rng), rng)
-            cost = cost_fn(child)
-            children.append((child, cost))
-            result.visited.append((child, cost))
+            offspring.append(mutate(crossover(a, b, rng), rng))
+        scored = list(zip(offspring, score(offspring)))
+        children.extend(scored)
+        result.visited.extend(scored)
         pop = children
     pop.sort(key=lambda t: t[1])
     result.best_state, result.best_cost = pop[0]

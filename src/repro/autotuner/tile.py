@@ -87,9 +87,12 @@ def model_tile_autotune(
     """
     chosen: list[TileConfig] = []
     total = 0.0
+    # Population-level scoring: one model forward per kernel's candidate set
+    # (and cached graph features for learned evaluators).
     for kernel in kernels:
         candidates = enumerate_tile_sizes(kernel, tiling)
-        scores = np.asarray(model.tile_scores(kernel, candidates))
+        scorer = getattr(model, "score_tiles_batched", model.tile_scores)
+        scores = np.asarray(scorer(kernel, candidates))
         order = np.argsort(scores, kind="stable")[: max(top_k, 1)]
         if top_k <= 1:
             pick = candidates[int(order[0])]

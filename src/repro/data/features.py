@@ -26,7 +26,7 @@ from ..compiler.kernels import Kernel
 from ..compiler.tiling import TileConfig
 from ..hlo.graph import Graph
 from ..hlo.instruction import Instruction
-from ..hlo.opcodes import OpCategory, Opcode, opcode_info
+from ..hlo.opcodes import Opcode
 
 #: Fixed sub-vector length for per-dimension features.
 MAX_DIMS = 6
@@ -54,6 +54,58 @@ def encode_varlen(values: tuple[int, ...] | list[int], length: int = MAX_DIMS) -
     return head + [total, prod]
 
 
+def _write_varlen(
+    row: np.ndarray, at: int, values, length: int = MAX_DIMS, compress: bool = False
+) -> None:
+    """Write :func:`encode_varlen` of ``values`` into ``row[at:at+length+2]``,
+    optionally log1p-compressing the trailing sum/product slots (done for
+    the output-dims block, whose volume spans many orders of magnitude)."""
+    vals = [float(v) for v in values]
+    k = min(len(vals), length)
+    if k:
+        row[at : at + k] = vals[:k]
+    total = sum(vals)
+    prod = float(math.prod(vals)) if vals else 0.0
+    row[at + length] = math.log1p(total) if compress else total
+    row[at + length + 1] = math.log1p(prod) if compress else prod
+
+
+def _write_node_features(row: np.ndarray, inst: Instruction) -> None:
+    """Fill one preallocated row with the instruction's scalar features."""
+    s = inst.shape
+    _write_varlen(row, 0, s.dims, compress=True)
+    _write_varlen(row, MAX_DIMS + 2, s.layout.minor_to_major)
+    window = inst.attr("window", ())
+    strides = inst.attr("strides", ())
+    base = 2 * (MAX_DIMS + 2)
+    row[base] = math.log1p(s.byte_size)
+    row[base + 1] = float(s.dtype.byte_size)
+    row[base + 2] = 1.0 if inst.is_root else 0.0
+    row[base + 3] = 1.0 if inst.opcode is Opcode.PARAMETER else 0.0
+    row[base + 4] = float(inst.arity)
+    row[base + 5] = float(window[0]) if len(window) > 0 else 0.0
+    row[base + 6] = float(window[1]) if len(window) > 1 else 0.0
+    row[base + 7] = float(strides[0]) if len(strides) > 0 else 0.0
+    row[base + 8] = float(strides[1]) if len(strides) > 1 else 0.0
+    row[base + 9] = 1.0 if inst.attr("padding") == "same" else 0.0
+    row[base + 10] = float(len(inst.attr("dims", ())))  # reduce dimensions
+    row[base + 11] = math.log1p(float(inst.attr("flops", 0.0)))
+
+
+def node_feature_matrix(instructions: list[Instruction]) -> np.ndarray:
+    """Scalar node features of a whole kernel as one matrix.
+
+    Builds a single preallocated ``[n, NODE_FEATURE_DIM]`` float32 array
+    and writes each instruction's features into its row — no per-node
+    Python lists, per-node array allocations, or ``np.stack``. Row values
+    are bitwise-identical to :func:`node_features` on each instruction.
+    """
+    out = np.zeros((len(instructions), NODE_FEATURE_DIM), dtype=np.float32)
+    for i, inst in enumerate(instructions):
+        _write_node_features(out[i], inst)
+    return out
+
+
 def node_features(inst: Instruction) -> np.ndarray:
     """Scalar feature vector for one instruction.
 
@@ -62,32 +114,7 @@ def node_features(inst: Instruction) -> np.ndarray:
     flag, arity, convolution window/striding/padding, reduction arity,
     contraction FLOPs, transcendental flag and per-element cost.
     """
-    info = opcode_info(inst.opcode)
-    s = inst.shape
-    dims = encode_varlen(s.dims)
-    layout = encode_varlen(s.layout.minor_to_major)
-    window = inst.attr("window", ())
-    strides = inst.attr("strides", ())
-    feats = dims + layout + [
-        math.log1p(s.byte_size),
-        float(s.dtype.byte_size),
-        1.0 if inst.is_root else 0.0,
-        1.0 if inst.opcode is Opcode.PARAMETER else 0.0,
-        float(inst.arity),
-        float(window[0]) if len(window) > 0 else 0.0,
-        float(window[1]) if len(window) > 1 else 0.0,
-        float(strides[0]) if len(strides) > 0 else 0.0,
-        float(strides[1]) if len(strides) > 1 else 0.0,
-        1.0 if inst.attr("padding") == "same" else 0.0,
-        float(len(inst.attr("dims", ()))),  # reduce dimensions
-        math.log1p(float(inst.attr("flops", 0.0))),
-    ]
-    # Compress the raw volume/sum entries of the dim blocks.
-    feats[MAX_DIMS] = math.log1p(feats[MAX_DIMS])
-    feats[MAX_DIMS + 1] = math.log1p(feats[MAX_DIMS + 1])
-    vec = np.asarray(feats, dtype=np.float32)
-    assert vec.shape == (NODE_FEATURE_DIM,), vec.shape
-    return vec
+    return node_feature_matrix([inst])[0]
 
 
 def tile_features(tile: TileConfig) -> np.ndarray:
@@ -130,7 +157,7 @@ def extract_kernel_features(kernel: Kernel) -> KernelFeatures:
     """Compute all tile-independent features of one kernel."""
     order = kernel.graph.topological_order()
     opcodes = np.asarray([int(inst.opcode) for inst in order], dtype=np.int64)
-    feats = np.stack([node_features(inst) for inst in order])
+    feats = node_feature_matrix(order)
     adjacency = kernel.graph.adjacency_matrix(order)
     static = static_features(analyze(kernel.graph))
     return KernelFeatures(opcodes, feats, adjacency, static)

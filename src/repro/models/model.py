@@ -186,12 +186,13 @@ class LearnedPerformanceModel(Module):
     # ------------------------------------------------------------- inference
     def predict(self, batch: GraphBatch) -> np.ndarray:
         """Raw scores without recording gradients."""
+        was_training = self.training
         self.eval()
         try:
             with no_grad():
                 return self.forward(batch).numpy().copy()
         finally:
-            self.train()
+            self.train(was_training)
 
     def predict_runtimes(self, batch: GraphBatch) -> np.ndarray:
         """Absolute runtimes in seconds (fusion task: exp of log output)."""

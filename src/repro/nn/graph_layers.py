@@ -19,8 +19,38 @@ import numpy as np
 import scipy.sparse as sp
 
 from .layers import Dense, Module, l2_normalize
-from .sparse import normalized_adjacency, segment_softmax, segment_sum, spmm
+from .sparse import normalized_adjacency, segment_softmax, segment_sum, spmm, stack_csr
 from .tensor import Tensor
+
+
+class GraphOperators:
+    """Pre-normalized structural operators of a *single* graph.
+
+    Normalization (neighbor-cap truncation + degree scaling) is row-local,
+    so the normalized operators of individual graphs compose exactly into
+    the batch-level block-diagonal operators: stacking per-graph normalized
+    blocks equals normalizing the stacked raw blocks, bitwise. This is the
+    invariant :class:`repro.data.batching.KernelCache` relies on.
+
+    Attributes:
+        adj_in / adj_out / adj_sym: normalized single-graph CSR operators.
+        edges: [e, 2] local (src, dst) pairs of raw forward edges, in the
+            CSR row-major order ``block.tocoo()`` would produce.
+        num_nodes: node count of this graph.
+        neighbor_cap: the truncation the operators were built with.
+    """
+
+    __slots__ = ("adj_in", "adj_out", "adj_sym", "edges", "num_nodes", "neighbor_cap")
+
+    def __init__(self, adjacency: sp.spmatrix, neighbor_cap: int | None = 20) -> None:
+        a = sp.csr_matrix(adjacency)
+        self.adj_in = normalized_adjacency(a, "in", cap=neighbor_cap)
+        self.adj_out = normalized_adjacency(a, "out", cap=neighbor_cap)
+        self.adj_sym = normalized_adjacency(a, "both", cap=neighbor_cap)
+        coo = a.tocoo()
+        self.edges = np.stack([coo.row, coo.col], axis=1).astype(np.int64)
+        self.num_nodes = int(a.shape[0])
+        self.neighbor_cap = neighbor_cap
 
 
 class GraphSAGELayer(Module):
@@ -164,3 +194,33 @@ class BatchedGraphContext:
         self.num_graphs = len(sizes)
         self.num_nodes = int(block.shape[0])
         self.sizes = sizes
+
+    @classmethod
+    def compose(cls, operators: list[GraphOperators]) -> "BatchedGraphContext":
+        """Compose pre-normalized single-graph operators into a batch context.
+
+        Zero-copy fast path: no ``sp.block_diag`` and no re-normalization —
+        the batch operators are stacked from the per-graph normalized CSR
+        blocks by direct ``indptr``/``indices`` arithmetic (normalization is
+        row-local, so the result is bitwise-identical to normalizing the
+        full block-diagonal matrix). The same :class:`GraphOperators` object
+        may appear several times (e.g. one kernel scored under many tiles).
+        """
+        if not operators:
+            raise ValueError("empty batch")
+        ctx = cls.__new__(cls)
+        ctx.adj_in = stack_csr([op.adj_in for op in operators])
+        ctx.adj_out = stack_csr([op.adj_out for op in operators])
+        ctx.adj_sym = stack_csr([op.adj_sym for op in operators])
+        sizes = [op.num_nodes for op in operators]
+        offsets = np.cumsum([0] + sizes[:-1])
+        fwd = np.concatenate(
+            [op.edges + off for op, off in zip(operators, offsets)], axis=0
+        )
+        rev = fwd[:, ::-1]
+        ctx.edges = np.concatenate([fwd, rev], axis=0).astype(np.int64)
+        ctx.graph_ids = np.repeat(np.arange(len(sizes)), sizes)
+        ctx.num_graphs = len(sizes)
+        ctx.num_nodes = int(sum(sizes))
+        ctx.sizes = sizes
+        return ctx

@@ -85,6 +85,38 @@ def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int) 
     return scores._make(out, (scores,), backward)
 
 
+def stack_csr(blocks: list[sp.csr_matrix]) -> sp.csr_matrix:
+    """Block-diagonal stack of CSR matrices by direct index arithmetic.
+
+    Equivalent to ``sp.block_diag(blocks, format="csr")`` but built from the
+    blocks' ``data``/``indices``/``indptr`` arrays directly, with no
+    intermediate COO conversion. Each block's per-row stored entry order is
+    preserved verbatim (scipy products such as ``normalized_adjacency``'s
+    ``d @ m`` emit *unsorted* per-row layouts — the flag is left for scipy
+    to determine), so downstream ``@`` products traverse entries in the
+    same order as the ``block_diag``-then-normalize path and produce
+    bitwise-identical results. The result never aliases a block's arrays:
+    callers may mutate it without corrupting cached inputs.
+    """
+    if not blocks:
+        raise ValueError("stack_csr needs at least one block")
+    if len(blocks) == 1:
+        return blocks[0].copy()
+    n_rows = sum(b.shape[0] for b in blocks)
+    n_cols = sum(b.shape[1] for b in blocks)
+    data = np.concatenate([b.data for b in blocks])
+    col_offsets = np.cumsum([0] + [b.shape[1] for b in blocks[:-1]])
+    indices = np.concatenate(
+        [b.indices + off for b, off in zip(blocks, col_offsets)]
+    )
+    nnz_offsets = np.cumsum([0] + [b.nnz for b in blocks[:-1]])
+    indptr = np.concatenate(
+        [np.asarray([0], dtype=np.int64)]
+        + [b.indptr[1:].astype(np.int64) + off for b, off in zip(blocks, nnz_offsets)]
+    )
+    return sp.csr_matrix((data, indices, indptr), shape=(n_rows, n_cols))
+
+
 def normalized_adjacency(
     adjacency: sp.spmatrix, direction: str = "in", cap: int | None = 20
 ) -> sp.csr_matrix:

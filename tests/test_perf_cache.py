@@ -1,0 +1,289 @@
+"""Tests for the kernel precompute cache, batched scoring, and batched search.
+
+The contract under test is *exact* equivalence: the cached/composed fast
+paths must be bitwise-identical to the cold reference paths — features,
+adjacency operators (via ``.toarray()``), pad views, and model scores.
+"""
+import numpy as np
+import pytest
+
+from repro.autotuner import (
+    LearnedEvaluator,
+    genetic_search,
+    parallel_annealing,
+    random_search,
+)
+from repro.compiler import enumerate_tile_sizes
+from repro.data import (
+    KernelCache,
+    Scalers,
+    TileBatchSampler,
+    assemble_batch,
+    build_fusion_dataset,
+    build_tile_dataset,
+)
+from repro.models import LearnedPerformanceModel, ModelConfig
+from repro.workloads import vision
+
+
+@pytest.fixture(scope="module")
+def tile_records():
+    programs = [vision.resnet_v1(0), vision.alexnet(0)]
+    return build_tile_dataset(programs, max_tiles_per_kernel=4, seed=0).records
+
+
+@pytest.fixture(scope="module")
+def fusion_records():
+    return build_fusion_dataset([vision.alexnet(0)], seed=0).records
+
+
+@pytest.fixture(scope="module")
+def scalers(tile_records):
+    return Scalers.fit_tile(tile_records)
+
+
+def assert_batches_identical(ref, got):
+    for name in (
+        "node_feats",
+        "opcodes",
+        "tile_feats",
+        "static_feats",
+        "targets",
+        "group_ids",
+        "pad_index",
+        "pad_mask",
+    ):
+        np.testing.assert_array_equal(
+            getattr(ref, name), getattr(got, name), err_msg=name
+        )
+    np.testing.assert_array_equal(ref.context.edges, got.context.edges)
+    np.testing.assert_array_equal(ref.context.graph_ids, got.context.graph_ids)
+    assert ref.context.sizes == got.context.sizes
+    assert ref.context.num_nodes == got.context.num_nodes
+    for name in ("adj_in", "adj_out", "adj_sym"):
+        np.testing.assert_array_equal(
+            getattr(ref.context, name).toarray(),
+            getattr(got.context, name).toarray(),
+            err_msg=name,
+        )
+
+
+class TestKernelCacheEquivalence:
+    def test_bitwise_identical_to_assemble_batch(self, tile_records, scalers):
+        sampler = TileBatchSampler(tile_records, kernels_per_batch=4, tiles_per_kernel=3, seed=7)
+        cache = KernelCache(scalers, neighbor_cap=20)
+        for _ in range(4):
+            items = sampler.draw_items()
+            assert_batches_identical(
+                assemble_batch(items, scalers), cache.assemble(items)
+            )
+
+    def test_neighbor_cap_truncation_path(self, tile_records, scalers):
+        sampler = TileBatchSampler(tile_records, kernels_per_batch=3, tiles_per_kernel=2, seed=3)
+        cache = KernelCache(scalers, neighbor_cap=2)
+        items = sampler.draw_items()
+        assert_batches_identical(
+            assemble_batch(items, scalers, neighbor_cap=2), cache.assemble(items)
+        )
+
+    def test_identity_scalers(self, tile_records):
+        sampler = TileBatchSampler(tile_records, kernels_per_batch=3, tiles_per_kernel=2, seed=5)
+        cache = KernelCache(scalers=None, neighbor_cap=20)
+        items = sampler.draw_items()
+        assert_batches_identical(assemble_batch(items), cache.assemble(items))
+
+    def test_fusion_items_without_tiles(self, fusion_records):
+        scalers = Scalers.fit_fusion(fusion_records)
+        items = [(r.features, None, r.runtime, i) for i, r in enumerate(fusion_records[:6])]
+        cache = KernelCache(scalers, neighbor_cap=20)
+        assert_batches_identical(
+            assemble_batch(items, scalers), cache.assemble(items)
+        )
+
+    def test_single_item_batch(self, tile_records, scalers):
+        r = tile_records[0]
+        items = [(r.features, r.tile_feats[0], float(r.runtimes[0]), 0)]
+        cache = KernelCache(scalers, neighbor_cap=20)
+        assert_batches_identical(
+            assemble_batch(items, scalers), cache.assemble(items)
+        )
+
+    def test_empty_batch_rejected(self, scalers):
+        with pytest.raises(ValueError):
+            KernelCache(scalers).assemble([])
+
+
+class TestKernelCacheMetering:
+    def test_entry_hits_and_misses(self, tile_records, scalers):
+        cache = KernelCache(scalers)
+        r = tile_records[0]
+        items = [(r.features, r.tile_feats[t], 0.0, 0) for t in range(2)]
+        cache.assemble(items)
+        assert cache.misses == 1  # one unique kernel
+        assert cache.hits == 1  # second item reused the entry
+        cache.assemble(items)
+        assert cache.misses == 1
+        assert cache.hits == 3
+
+    def test_context_memo_hits_on_repeat_composition(self, tile_records, scalers):
+        cache = KernelCache(scalers)
+        r = tile_records[0]
+        items = [(r.features, r.tile_feats[t % 2], 0.0, 0) for t in range(3)]
+        b1 = cache.assemble(items)
+        b2 = cache.assemble(items)
+        assert cache.context_misses == 1
+        assert cache.context_hits == 1
+        assert b1.context is b2.context  # shared, not rebuilt
+
+    def test_context_memo_bounded(self, tile_records, scalers):
+        cache = KernelCache(scalers, max_contexts=2)
+        for r in tile_records[:5]:
+            cache.assemble([(r.features, r.tile_feats[0], 0.0, 0)])
+        assert len(cache._contexts) <= 2
+
+    def test_entry_store_bounded_with_lru_eviction(self, tile_records, scalers):
+        cache = KernelCache(scalers, max_entries=3)
+        for r in tile_records[:5]:
+            cache.assemble([(r.features, r.tile_feats[0], 0.0, 0)])
+        assert len(cache) <= 3
+        # Evicted kernels are recomputed (a miss), and still correct.
+        r0 = tile_records[0]
+        items = [(r0.features, r0.tile_feats[0], 0.0, 0)]
+        before = cache.misses
+        assert_batches_identical(assemble_batch(items, scalers), cache.assemble(items))
+        assert cache.misses == before + 1
+
+    def test_clear_drops_entries(self, tile_records, scalers):
+        cache = KernelCache(scalers)
+        r = tile_records[0]
+        cache.assemble([(r.features, r.tile_feats[0], 0.0, 0)])
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestBatchedTileScoring:
+    @pytest.fixture(scope="class")
+    def evaluator(self, tile_records, scalers):
+        model = LearnedPerformanceModel(ModelConfig.paper_best_tile(), seed=0)
+        model.eval()
+        return LearnedEvaluator(model, scalers)
+
+    def test_matches_cold_path_bitwise(self, tile_records, scalers, evaluator):
+        """Cached composition changes nothing: same batch, same bits."""
+        record = max(tile_records, key=lambda r: len(enumerate_tile_sizes(r.kernel)))
+        tiles = enumerate_tile_sizes(record.kernel)[:12]
+        cold = LearnedEvaluator(evaluator.model, scalers, cache=False)
+        np.testing.assert_array_equal(
+            cold.tile_scores(record.kernel, tiles),
+            evaluator.score_tiles_batched(record.kernel, tiles),
+        )
+
+    def test_matches_per_tile_scoring(self, tile_records, scalers, evaluator):
+        """One batched forward == N single-tile forwards (up to BLAS
+        shape-dependent rounding, which differs across batch sizes)."""
+        record = max(tile_records, key=lambda r: len(enumerate_tile_sizes(r.kernel)))
+        tiles = enumerate_tile_sizes(record.kernel)[:12]
+        cold = LearnedEvaluator(evaluator.model, scalers, cache=False)
+        per_tile = np.concatenate(
+            [cold.tile_scores(record.kernel, [t]) for t in tiles]
+        )
+        batched = evaluator.score_tiles_batched(record.kernel, tiles)
+        np.testing.assert_allclose(per_tile, batched, rtol=1e-4, atol=1e-7)
+
+    def test_empty_tiles(self, tile_records, evaluator):
+        out = evaluator.score_tiles_batched(tile_records[0].kernel, [])
+        assert out.shape == (0,)
+
+    def test_feature_memo_metering(self, tile_records, scalers, evaluator):
+        kernel = tile_records[1].kernel
+        tiles = enumerate_tile_sizes(kernel)[:4]
+        before = evaluator.feature_cache_misses
+        evaluator.score_tiles_batched(kernel, tiles)
+        evaluator.score_tiles_batched(kernel, tiles)
+        assert evaluator.feature_cache_misses == before + 1
+        assert evaluator.feature_cache_hits >= 1
+
+    def test_predict_preserves_eval_mode(self, tile_records, scalers, evaluator):
+        assert not evaluator.model.training
+        evaluator.score_tiles_batched(
+            tile_records[0].kernel, enumerate_tile_sizes(tile_records[0].kernel)[:2]
+        )
+        assert not evaluator.model.training  # predict restored eval mode
+
+
+class TestBatchedProgramScoring:
+    def test_matches_sequential_program_runtime(self, fusion_records):
+        scalers = Scalers.fit_fusion(fusion_records)
+        model = LearnedPerformanceModel(ModelConfig.paper_best_fusion(), seed=0)
+        model.eval()
+        kernels = [r.kernel for r in fusion_records[:4]]
+        programs = [kernels[:2], kernels[2:], kernels]
+        sequential = LearnedEvaluator(model, scalers)
+        expected = np.asarray([sequential.program_runtime(p) for p in programs])
+        batched = LearnedEvaluator(model, scalers)
+        got = batched.program_runtimes_batched(programs)
+        # Kernels are priced in different batch shapes (float32 BLAS
+        # rounding differs across shapes), so exact equality is not
+        # expected — agreement to ~1e-5 relative is.
+        np.testing.assert_allclose(got, expected, rtol=1e-5)
+
+
+class TestBatchedSearch:
+    @staticmethod
+    def _cost(state):
+        return float((state - 3.7) ** 2)
+
+    def test_random_search_batched_identical(self):
+        sample = lambda rng: float(rng.normal())
+        seq = random_search(sample, self._cost, 40, np.random.default_rng(0))
+        bat = random_search(
+            sample,
+            self._cost,
+            40,
+            np.random.default_rng(0),
+            batch_cost_fn=lambda states: [self._cost(s) for s in states],
+        )
+        assert seq.best_state == bat.best_state
+        assert seq.best_cost == bat.best_cost
+        assert seq.visited == bat.visited
+        assert seq.history == bat.history
+
+    def test_genetic_search_batched_identical(self):
+        sample = lambda rng: float(rng.normal())
+        crossover = lambda a, b, rng: (a + b) / 2
+        mutate = lambda s, rng: s + float(rng.normal()) * 0.1
+        seq = genetic_search(
+            sample, self._cost, crossover, mutate, np.random.default_rng(1),
+            population=8, generations=4, elite=2,
+        )
+        bat = genetic_search(
+            sample, self._cost, crossover, mutate, np.random.default_rng(1),
+            population=8, generations=4, elite=2,
+            batch_cost_fn=lambda states: [self._cost(s) for s in states],
+        )
+        assert seq.best_state == bat.best_state
+        assert seq.best_cost == bat.best_cost
+        assert seq.visited == bat.visited
+
+    def test_parallel_annealing_improves_and_batches(self):
+        calls = []
+
+        def batch_cost(states):
+            calls.append(len(states))
+            return [self._cost(s) for s in states]
+
+        neighbor = lambda s, rng: s + float(rng.normal()) * 0.5
+        result = parallel_annealing(
+            [0.0, 10.0, -5.0], batch_cost, neighbor, steps=50,
+            rng=np.random.default_rng(2),
+        )
+        assert result.best_cost <= self._cost(0.0)
+        assert len(result.visited) == 3 * 51
+        assert all(n == 3 for n in calls)  # one batched call per step
+
+    def test_parallel_annealing_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parallel_annealing(
+                [], lambda s: [], lambda s, r: s, steps=1,
+                rng=np.random.default_rng(0),
+            )
