@@ -24,7 +24,12 @@ Subpackages
     Tile-size and fusion autotuners with hardware/analytical/learned
     evaluators.
 ``repro.evaluation``
-    Tile-Size APE, MAPE, Kendall's tau, and table rendering.
+    Tile-Size APE, MAPE, Kendall's tau, serving metrics, and table
+    rendering.
+``repro.serving``
+    Micro-batched cost-model inference service: model registry,
+    request coalescing, replica sharding, and the service-backed
+    evaluator client.
 
 Quickstart
 ----------
@@ -38,7 +43,18 @@ Quickstart
 
 __version__ = "1.0.0"
 
-from . import autotuner, compiler, data, evaluation, hlo, models, nn, tpu, workloads
+from . import (
+    autotuner,
+    compiler,
+    data,
+    evaluation,
+    hlo,
+    models,
+    nn,
+    serving,
+    tpu,
+    workloads,
+)
 
 __all__ = [
     "__version__",
@@ -49,6 +65,7 @@ __all__ = [
     "hlo",
     "models",
     "nn",
+    "serving",
     "tpu",
     "workloads",
 ]

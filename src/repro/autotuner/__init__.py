@@ -1,5 +1,11 @@
 """Compiler autotuner: evaluators, search strategies, tile & fusion tuners."""
-from .evaluators import AnalyticalEvaluator, HardwareEvaluator, LearnedEvaluator
+from .evaluators import (
+    AnalyticalEvaluator,
+    HardwareEvaluator,
+    LearnedEvaluator,
+    ProgramCostModel,
+    TileScorer,
+)
 from .fusion_tuner import (
     FusionTuningResult,
     hardware_fusion_autotune,
@@ -19,7 +25,9 @@ __all__ = [
     "FusionTuningResult",
     "HardwareEvaluator",
     "LearnedEvaluator",
+    "ProgramCostModel",
     "SearchResult",
+    "TileScorer",
     "TileTuningResult",
     "exhaustive_tile_autotune",
     "genetic_search",

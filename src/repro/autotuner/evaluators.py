@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -20,6 +21,32 @@ from ..data.features import KernelFeatures, extract_kernel_features, tile_featur
 from ..models.model import LearnedPerformanceModel
 from ..tpu.analytical import AnalyticalModel, CalibratedAnalyticalModel
 from ..tpu.simulator import TpuSimulator
+
+
+@runtime_checkable
+class TileScorer(Protocol):
+    """Anything that can rank candidate tiles of one kernel.
+
+    The tuners dispatch on this shape (``model_tile_autotune`` prefers
+    :meth:`score_tiles_batched` when present) — satisfied by
+    :class:`LearnedEvaluator`, :class:`AnalyticalEvaluator`, and the
+    serving layer's ``ServiceEvaluator``.
+    """
+
+    def tile_scores(self, kernel: Kernel, tiles: list[TileConfig]) -> np.ndarray: ...
+
+
+@runtime_checkable
+class ProgramCostModel(Protocol):
+    """Anything that can price whole programs (lists of kernels).
+
+    ``model_fusion_autotune`` consumes this shape; batched strategies call
+    :meth:`program_runtimes_batched` with whole candidate populations.
+    """
+
+    def program_runtime(self, kernels: list[Kernel]) -> float: ...
+
+    def program_runtimes_batched(self, programs: list[list[Kernel]]) -> np.ndarray: ...
 
 
 class HardwareEvaluator:
@@ -98,21 +125,59 @@ class LearnedEvaluator:
     #: caches would grow with the search budget; LRU-evicted kernels are
     #: recomputed on next sight.
     max_cached_kernels: int = 1024
+    #: Bound on the fingerprint -> predicted-runtime memo; ``None`` means
+    #: 16x ``max_cached_kernels`` (entries are tiny relative to precompute
+    #: entries, but re-pricing an evicted kernel costs a model forward).
+    max_cached_predictions: int | None = None
+    #: Externally shared :class:`~repro.data.batching.KernelCache`; ``None``
+    #: builds a private one. Sharing lets several evaluators (e.g. serving
+    #: replicas over one checkpoint) reuse each other's per-kernel
+    #: precomputes — the cache must have been built with these ``scalers``
+    #: and this model's ``neighbor_cap``.
+    batch_cache: KernelCache | None = None
 
     def __post_init__(self) -> None:
         # Prediction memo: entries are tiny (fingerprint -> float) but the
         # kernel stream is open-ended, so bound it too — at a multiple of
         # the precompute caches since re-pricing costs a model forward.
         self._memo: "OrderedDict[str, float]" = OrderedDict()
-        self._memo_cap = 16 * self.max_cached_kernels
+        if self.max_cached_predictions is None:
+            self.max_cached_predictions = 16 * self.max_cached_kernels
+        self._memo_cap = self.max_cached_predictions
         self._features_memo: "OrderedDict[str, KernelFeatures]" = OrderedDict()
-        self.batch_cache = KernelCache(
-            self.scalers,
-            neighbor_cap=self.model.config.neighbor_cap,
-            max_entries=self.max_cached_kernels,
-        )
+        if self.batch_cache is None:
+            self.batch_cache = KernelCache(
+                self.scalers,
+                neighbor_cap=self.model.config.neighbor_cap,
+                max_entries=self.max_cached_kernels,
+            )
         self.feature_cache_hits = 0
         self.feature_cache_misses = 0
+        self.feature_cache_evictions = 0
+        self.prediction_memo_hits = 0
+        self.prediction_memo_misses = 0
+        self.prediction_memo_evictions = 0
+
+    def stats(self) -> dict[str, int]:
+        """Cache counter snapshot (the serving metrics layer reads this).
+
+        Keys: ``feature_*`` cover the fingerprint -> features memo,
+        ``prediction_*`` the fingerprint -> runtime memo, and ``batch_*``
+        the per-kernel precompute cache (hits/misses/evictions each, plus
+        current sizes).
+        """
+        batch = self.batch_cache.stats()
+        return {
+            "feature_entries": len(self._features_memo),
+            "feature_hits": self.feature_cache_hits,
+            "feature_misses": self.feature_cache_misses,
+            "feature_evictions": self.feature_cache_evictions,
+            "prediction_entries": len(self._memo),
+            "prediction_hits": self.prediction_memo_hits,
+            "prediction_misses": self.prediction_memo_misses,
+            "prediction_evictions": self.prediction_memo_evictions,
+            **{f"batch_{k}": v for k, v in batch.items()},
+        }
 
     def _features(self, kernel: Kernel) -> KernelFeatures:
         """Extract kernel features, deduped by fingerprint when caching."""
@@ -129,6 +194,7 @@ class LearnedEvaluator:
         self._features_memo[fp] = features
         while len(self._features_memo) > self.max_cached_kernels:
             self._features_memo.popitem(last=False)
+            self.feature_cache_evictions += 1
         return features
 
     def _remember(self, fingerprint: str, value: float) -> None:
@@ -136,6 +202,7 @@ class LearnedEvaluator:
         self._memo[fingerprint] = value
         while len(self._memo) > self._memo_cap:
             self._memo.popitem(last=False)
+            self.prediction_memo_evictions += 1
 
     def _assemble(self, items: list[BatchItem]) -> GraphBatch:
         """Compose a batch via the kernel cache (or cold when disabled)."""
@@ -168,10 +235,12 @@ class LearnedEvaluator:
         """Predicted absolute runtime in seconds (fusion-task models)."""
         fp = kernel.fingerprint() if self.cache else None
         if fp is not None and fp in self._memo:
+            self.prediction_memo_hits += 1
             return self._memo[fp]
         items = [(self._features(kernel), None, 0.0, 0)]
         value = float(self.model.predict_runtimes(self._assemble(items))[0])
         if fp is not None:
+            self.prediction_memo_misses += 1
             self._remember(fp, value)
         return value
 
@@ -190,8 +259,11 @@ class LearnedEvaluator:
                 continue
             cached = self._memo.get(fp) if self.cache else None
             if cached is not None:
+                self.prediction_memo_hits += 1
                 prices[fp] = cached
             else:
+                if self.cache:
+                    self.prediction_memo_misses += 1
                 unique[fp] = k
         if unique:
             missing = list(unique.values())

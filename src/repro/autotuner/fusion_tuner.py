@@ -20,7 +20,7 @@ import numpy as np
 
 from ..compiler.fusion import FusionConfig, FusionParams, default_fusion, fuse_program, fusible_edges
 from ..hlo.graph import Graph, Program
-from .evaluators import HardwareEvaluator, LearnedEvaluator
+from .evaluators import HardwareEvaluator, ProgramCostModel
 from .search import (
     SearchResult,
     genetic_search,
@@ -117,7 +117,7 @@ def hardware_fusion_autotune(
 
 def model_fusion_autotune(
     program: Program,
-    learned: LearnedEvaluator,
+    learned: ProgramCostModel,
     hardware: HardwareEvaluator,
     model_budget: int = 400,
     hardware_budget: int = 5,

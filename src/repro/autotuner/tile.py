@@ -19,7 +19,7 @@ import numpy as np
 
 from ..compiler.kernels import Kernel
 from ..compiler.tiling import TileConfig, TilingParams, default_tile, enumerate_tile_sizes
-from .evaluators import AnalyticalEvaluator, HardwareEvaluator, LearnedEvaluator
+from .evaluators import HardwareEvaluator, TileScorer
 
 
 @dataclass
@@ -75,7 +75,7 @@ def exhaustive_tile_autotune(
 
 def model_tile_autotune(
     kernels: list[Kernel],
-    model: LearnedEvaluator | AnalyticalEvaluator,
+    model: TileScorer,
     hardware: HardwareEvaluator,
     top_k: int = 10,
     tiling: TilingParams | None = None,
@@ -84,6 +84,10 @@ def model_tile_autotune(
 
     With ``top_k=1`` this is direct compiler integration: the model's
     choice is used as-is and zero hardware evaluations are spent.
+
+    ``model`` is any :class:`~repro.autotuner.evaluators.TileScorer` —
+    learned, analytical, or a serving-layer ``ServiceEvaluator`` sharing
+    one warm model across many tuner processes.
     """
     chosen: list[TileConfig] = []
     total = 0.0

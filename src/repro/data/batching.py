@@ -229,8 +229,9 @@ class KernelCache:
     sight.
 
     Attributes:
-        hits / misses: per-kernel entry cache counters.
-        context_hits / context_misses: composed-context memo counters.
+        hits / misses / evictions: per-kernel entry cache counters.
+        context_hits / context_misses / context_evictions: composed-context
+            memo counters.
     """
 
     def __init__(
@@ -259,11 +260,26 @@ class KernelCache:
         ] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self.context_hits = 0
         self.context_misses = 0
+        self.context_evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot (entry + composed-context caches)."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "contexts": len(self._contexts),
+            "context_hits": self.context_hits,
+            "context_misses": self.context_misses,
+            "context_evictions": self.context_evictions,
+        }
 
     def clear(self) -> None:
         """Drop all cached entries and composed contexts (counters kept)."""
@@ -284,6 +300,7 @@ class KernelCache:
         if self.max_entries is not None:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+                self.evictions += 1
         return entry
 
     def _context(
@@ -303,6 +320,7 @@ class KernelCache:
         self._contexts[key] = (tuple(entries), context, pad_index, pad_mask)
         while len(self._contexts) > self.max_contexts:
             self._contexts.popitem(last=False)
+            self.context_evictions += 1
         return context, pad_index, pad_mask
 
     def assemble(self, items: list[BatchItem]) -> GraphBatch:

@@ -12,9 +12,12 @@ from .metrics import (
 )
 from .plots import bar_chart
 from .reports import format_comparison, format_table
+from .service import LatencySummary, ServingStats, latency_percentiles
 
 __all__ = [
     "FusionTaskResult",
+    "LatencySummary",
+    "ServingStats",
     "bar_chart",
     "TileTaskResult",
     "evaluate_fusion_task",
@@ -23,6 +26,7 @@ __all__ = [
     "format_table",
     "geometric_mean",
     "kendall_tau",
+    "latency_percentiles",
     "mape",
     "summarize",
     "tile_size_ape",

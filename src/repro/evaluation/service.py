@@ -1,0 +1,126 @@
+"""Serving metrics: QPS, batch occupancy, cache hit rate, latency tails.
+
+The compile-time serving tier is throughput infrastructure, so it is
+evaluated like one: requests/sec, how full the micro-batches run
+(occupancy is the batching win), how often the shared result cache
+short-circuits a forward, and the latency distribution clients actually
+see (tails, not means — a tuner blocked at p99 stalls its whole search
+chain).
+
+:class:`ServingStats` is the thread-safe accumulator the service feeds;
+:func:`latency_percentiles` is the standalone helper for offline analysis
+of recorded latencies.
+"""
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Latency ring-buffer size: enough for stable p99 estimates, bounded so a
+#: long-lived service never grows.
+_LATENCY_WINDOW = 8192
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Latency distribution snapshot, seconds.
+
+    Attributes:
+        count: samples summarized.
+        mean / p50 / p90 / p99 / max: the usual suspects.
+    """
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+
+def latency_percentiles(samples) -> LatencySummary:
+    """Summarize latency samples (empty input gives an all-zero summary)."""
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.size == 0:
+        return LatencySummary(count=0, mean=0.0, p50=0.0, p90=0.0, p99=0.0, max=0.0)
+    p50, p90, p99 = np.percentile(arr, [50, 90, 99])
+    return LatencySummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        p50=float(p50),
+        p90=float(p90),
+        p99=float(p99),
+        max=float(arr.max()),
+    )
+
+
+class ServingStats:
+    """Thread-safe accumulator for the service's operational metrics.
+
+    The service calls :meth:`record_response` once per resolved request
+    and :meth:`record_batch` once per executed micro-batch;
+    :meth:`snapshot` renders everything into one flat dict for reports and
+    benchmark JSON.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.perf_counter()
+        self.requests = 0
+        self.errors = 0
+        self.cache_hits = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.model_forwards = 0
+        self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+
+    def record_response(self, latency_s: float, cache_hit: bool, error: bool = False) -> None:
+        """Account one resolved request."""
+        with self._lock:
+            self.requests += 1
+            if cache_hit:
+                self.cache_hits += 1
+            if error:
+                self.errors += 1
+            self._latencies.append(latency_s)
+
+    def record_batch(self, size: int, forwards: int = 1) -> None:
+        """Account one executed micro-batch of ``size`` coalesced requests
+        that cost ``forwards`` model forward passes."""
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+            self.model_forwards += forwards
+
+    def snapshot(self) -> dict[str, float]:
+        """Current metrics as a flat dict.
+
+        Keys: ``requests``, ``errors``, ``qps`` (over the stats object's
+        lifetime), ``cache_hit_rate``, ``batches``, ``batch_occupancy``
+        (mean coalesced requests per micro-batch), ``model_forwards``,
+        ``requests_per_forward``, and ``latency_{mean,p50,p90,p99,max}_s``.
+        """
+        with self._lock:
+            elapsed = max(time.perf_counter() - self._started, 1e-9)
+            latency = latency_percentiles(self._latencies)
+            return {
+                "requests": float(self.requests),
+                "errors": float(self.errors),
+                "qps": self.requests / elapsed,
+                "cache_hit_rate": self.cache_hits / self.requests if self.requests else 0.0,
+                "batches": float(self.batches),
+                "batch_occupancy": self.batched_requests / self.batches if self.batches else 0.0,
+                "model_forwards": float(self.model_forwards),
+                "requests_per_forward": (
+                    self.batched_requests / self.model_forwards if self.model_forwards else 0.0
+                ),
+                "latency_mean_s": latency.mean,
+                "latency_p50_s": latency.p50,
+                "latency_p90_s": latency.p90,
+                "latency_p99_s": latency.p99,
+                "latency_max_s": latency.max,
+            }

@@ -8,7 +8,7 @@ from .config import (
     TrainConfig,
 )
 from .model import LearnedPerformanceModel
-from .serialize import load_model, save_model
+from .serialize import load_model, load_model_bytes, save_model, save_model_bytes
 from .trainer import (
     TrainResult,
     fine_tune,
@@ -29,9 +29,11 @@ __all__ = [
     "TrainResult",
     "fine_tune",
     "load_model",
+    "load_model_bytes",
     "predict_fusion_runtimes",
     "predict_tile_scores",
     "save_model",
+    "save_model_bytes",
     "train_fusion_model",
     "train_tile_model",
 ]

@@ -4,10 +4,17 @@ A trained model is (config, parameters, feature scalers); all three are
 saved into one ``.npz`` archive so a model trained once can be shipped to
 the compiler/autotuner without retraining — the deployment mode the paper
 targets (the model is trained offline and queried at compile time).
+
+Two transports share one format: :func:`save_model` / :func:`load_model`
+write and read files, :func:`save_model_bytes` / :func:`load_model_bytes`
+round-trip the same archive through memory. The in-memory form is what the
+serving layer's model registry uses to hold versioned checkpoints and
+hot-swap them without touching disk.
 """
 from __future__ import annotations
 
 import dataclasses
+import io
 import json
 from pathlib import Path
 
@@ -20,14 +27,8 @@ from .model import LearnedPerformanceModel
 from .trainer import TrainResult
 
 
-def save_model(path: str | Path, result: TrainResult) -> None:
-    """Save a trained model + scalers to ``path`` (.npz).
-
-    Args:
-        path: destination file; parent directories must exist.
-        result: the :class:`TrainResult` from training.
-    """
-    path = Path(path)
+def _payload(result: TrainResult) -> dict[str, np.ndarray]:
+    """Flatten (config, parameters, scalers) into one npz-able dict."""
     payload: dict[str, np.ndarray] = {}
     for name, arr in result.model.state_dict().items():
         payload[f"param/{name}"] = arr
@@ -38,7 +39,43 @@ def save_model(path: str | Path, result: TrainResult) -> None:
         payload[f"scaler/{block}/hi"] = state["hi"]
     config_json = json.dumps(dataclasses.asdict(result.model.config))
     payload["config"] = np.frombuffer(config_json.encode(), dtype=np.uint8)
-    np.savez_compressed(path, **payload)
+    return payload
+
+
+def _from_archive(archive) -> TrainResult:
+    """Rebuild a :class:`TrainResult` from a loaded npz archive."""
+    config_json = bytes(archive["config"]).decode()
+    config = ModelConfig(**json.loads(config_json))
+    model = LearnedPerformanceModel(config)
+    state = {
+        name[len("param/"):]: archive[name]
+        for name in archive.files
+        if name.startswith("param/")
+    }
+    model.load_state_dict(state)
+    scalers = Scalers(
+        node=FeatureScaler.from_state(
+            {"lo": archive["scaler/node/lo"], "hi": archive["scaler/node/hi"]}
+        ),
+        tile=FeatureScaler.from_state(
+            {"lo": archive["scaler/tile/lo"], "hi": archive["scaler/tile/hi"]}
+        ),
+        static=FeatureScaler.from_state(
+            {"lo": archive["scaler/static/lo"], "hi": archive["scaler/static/hi"]}
+        ),
+    )
+    model.eval()
+    return TrainResult(model=model, scalers=scalers, loss_history=[])
+
+
+def save_model(path: str | Path, result: TrainResult) -> None:
+    """Save a trained model + scalers to ``path`` (.npz).
+
+    Args:
+        path: destination file; parent directories must exist.
+        result: the :class:`TrainResult` from training.
+    """
+    np.savez_compressed(Path(path), **_payload(result))
 
 
 def load_model(path: str | Path) -> TrainResult:
@@ -51,27 +88,18 @@ def load_model(path: str | Path) -> TrainResult:
     Raises:
         KeyError: if the archive is missing required entries.
     """
-    path = Path(path)
-    with np.load(path) as archive:
-        config_json = bytes(archive["config"]).decode()
-        config = ModelConfig(**json.loads(config_json))
-        model = LearnedPerformanceModel(config)
-        state = {
-            name[len("param/"):]: archive[name]
-            for name in archive.files
-            if name.startswith("param/")
-        }
-        model.load_state_dict(state)
-        scalers = Scalers(
-            node=FeatureScaler.from_state(
-                {"lo": archive["scaler/node/lo"], "hi": archive["scaler/node/hi"]}
-            ),
-            tile=FeatureScaler.from_state(
-                {"lo": archive["scaler/tile/lo"], "hi": archive["scaler/tile/hi"]}
-            ),
-            static=FeatureScaler.from_state(
-                {"lo": archive["scaler/static/lo"], "hi": archive["scaler/static/hi"]}
-            ),
-        )
-    model.eval()
-    return TrainResult(model=model, scalers=scalers, loss_history=[])
+    with np.load(Path(path)) as archive:
+        return _from_archive(archive)
+
+
+def save_model_bytes(result: TrainResult) -> bytes:
+    """Serialize a trained model + scalers to npz bytes (no disk I/O)."""
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **_payload(result))
+    return buffer.getvalue()
+
+
+def load_model_bytes(data: bytes) -> TrainResult:
+    """Load a model serialized by :func:`save_model_bytes`."""
+    with np.load(io.BytesIO(data)) as archive:
+        return _from_archive(archive)

@@ -13,23 +13,34 @@ broadcast axes.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-_GRAD_ENABLED = True
+# Thread-local so a serving thread running inference under no_grad() never
+# turns off tape recording for a training loop on another thread (the
+# train-while-serving flow of the hot-swap workflow).
+_grad_state = threading.local()
+
+
+def _grad_enabled() -> bool:
+    return getattr(_grad_state, "enabled", True)
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager disabling tape recording (inference / evaluation)."""
-    global _GRAD_ENABLED
-    prev = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager disabling tape recording (inference / evaluation).
+
+    The flag is per-thread: disabling gradients on one thread leaves
+    concurrent training on other threads unaffected.
+    """
+    prev = _grad_enabled()
+    _grad_state.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = prev
+        _grad_state.enabled = prev
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -66,7 +77,7 @@ class Tensor:
         if not np.issubdtype(arr.dtype, np.integer):
             arr = arr.astype(np.float32, copy=False)
         self.data: np.ndarray = arr
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _grad_enabled()
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
@@ -113,7 +124,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         out = Tensor(data)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        if _grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(parents)
             out._backward = backward

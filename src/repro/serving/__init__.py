@@ -1,0 +1,38 @@
+"""Cost-model serving layer (in-process-first).
+
+The paper's deployment mode — a performance model trained offline and
+queried at compile time — becomes a service boundary here: a versioned
+model registry, a micro-batching scheduler that coalesces queries from
+many concurrent clients into shared forward passes, a fingerprint-sharded
+replica pool with a shared result cache, and a client
+(:class:`ServiceEvaluator`) that speaks the existing evaluator protocol so
+the autotuners run against the service unchanged.
+"""
+from .client import ServiceEvaluator
+from .protocol import (
+    KernelRuntimeRequest,
+    ProgramRuntimesRequest,
+    Request,
+    Response,
+    TileScoresRequest,
+)
+from .registry import ModelRegistry
+from .replica import ReplicaPool, ResultCache
+from .scheduler import MicroBatcher, PendingRequest
+from .service import CostModelService, ServiceConfig
+
+__all__ = [
+    "CostModelService",
+    "KernelRuntimeRequest",
+    "MicroBatcher",
+    "ModelRegistry",
+    "PendingRequest",
+    "ProgramRuntimesRequest",
+    "ReplicaPool",
+    "Request",
+    "Response",
+    "ResultCache",
+    "ServiceConfig",
+    "ServiceEvaluator",
+    "TileScoresRequest",
+]

@@ -1,0 +1,93 @@
+"""Service-backed evaluator: the existing evaluator interface, served.
+
+``ServiceEvaluator`` speaks the same protocol as
+:class:`~repro.autotuner.LearnedEvaluator` (it satisfies both
+:class:`~repro.autotuner.TileScorer` and
+:class:`~repro.autotuner.ProgramCostModel`), so ``model_tile_autotune``
+and ``model_fusion_autotune`` run against the shared service unchanged —
+point N tuner threads at one service and their queries coalesce into the
+same micro-batches.
+
+Against a service without a worker thread the client pumps the queue
+itself (submit, :meth:`CostModelService.flush`, wait) — fully synchronous
+and deterministic, which is also how the equivalence tests drive it.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..compiler.kernels import Kernel
+from ..compiler.tiling import TileConfig
+from .protocol import (
+    KernelRuntimeRequest,
+    ProgramRuntimesRequest,
+    Request,
+    Response,
+    TileScoresRequest,
+)
+from .service import CostModelService
+
+
+class ServiceEvaluator:
+    """Evaluator facade over a :class:`CostModelService`.
+
+    Args:
+        service: the service to query (shared across clients).
+        timeout_s: max seconds to wait for any one response.
+
+    Attributes:
+        last_response: the most recent :class:`Response` (version stamp,
+            batch occupancy, latency) — what a client inspects to learn
+            which checkpoint priced its query.
+    """
+
+    def __init__(self, service: CostModelService, timeout_s: float = 60.0) -> None:
+        self.service = service
+        self.timeout_s = timeout_s
+        self.last_response: Response | None = None
+
+    @property
+    def model_version(self) -> str | None:
+        """Version that served the most recent request (None before any)."""
+        return self.last_response.model_version if self.last_response else None
+
+    def _call(self, request: Request) -> Response:
+        future = self.service.submit(request)
+        if not self.service.is_running:
+            self.service.flush()
+        response: Response = future.result(timeout=self.timeout_s)
+        self.last_response = response
+        return response
+
+    def tile_scores(self, kernel: Kernel, tiles: list[TileConfig]) -> np.ndarray:
+        """Rank scores for candidate tiles of one kernel (lower = faster)."""
+        response = self._call(TileScoresRequest(kernel=kernel, tiles=tuple(tiles)))
+        return np.asarray(response.unwrap())
+
+    def score_tiles_batched(self, kernel: Kernel, tiles: list[TileConfig]) -> np.ndarray:
+        """Population-level tile scoring entry point (empty-safe)."""
+        if not tiles:
+            return np.zeros(0, dtype=np.float32)
+        return self.tile_scores(kernel, tiles)
+
+    def kernel_runtime(self, kernel: Kernel, tile: TileConfig | None = None) -> float:
+        """Predicted absolute runtime in seconds (``tile`` ignored, as in
+        :class:`~repro.autotuner.LearnedEvaluator`)."""
+        response = self._call(KernelRuntimeRequest(kernel=kernel))
+        return float(response.unwrap())
+
+    def program_runtime(self, kernels: list[Kernel]) -> float:
+        """Predicted program runtime (one-program population query)."""
+        response = self._call(
+            ProgramRuntimesRequest(programs=(tuple(kernels),))
+        )
+        return float(np.asarray(response.unwrap())[0])
+
+    def program_runtimes_batched(self, programs: list[list[Kernel]]) -> np.ndarray:
+        """Predicted runtimes for many candidate programs (empty-safe)."""
+        if not programs:
+            return np.zeros(0, dtype=np.float64)
+        response = self._call(
+            ProgramRuntimesRequest(programs=tuple(tuple(p) for p in programs))
+        )
+        return np.asarray(response.unwrap())

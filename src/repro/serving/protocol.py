@@ -1,0 +1,118 @@
+"""Typed request/response protocol for the cost-model service.
+
+The paper's deployment mode is a model trained offline and queried at
+compile time; the service speaks exactly the three query shapes that
+compile-time clients (tile autotuners, fusion tuners, benchmark drivers)
+issue:
+
+* :class:`TileScoresRequest` — rank candidate tiles of one kernel;
+* :class:`KernelRuntimeRequest` — predict one kernel's absolute runtime;
+* :class:`ProgramRuntimesRequest` — price a population of candidate
+  programs (fusion-search populations).
+
+Requests are plain frozen dataclasses so they can cross a transport
+boundary later (the in-process service passes them by reference). Every
+request exposes a ``shard_key`` (the kernel fingerprint used to route it
+to a replica) and, when the result is safely memoizable, a ``cache_key``
+for the service's shared result cache.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..compiler.kernels import Kernel
+from ..compiler.tiling import TileConfig
+
+
+@dataclass(frozen=True)
+class TileScoresRequest:
+    """Score candidate tiles of one kernel (lower score = faster).
+
+    Attributes:
+        kernel: the kernel being tuned.
+        tiles: candidate tile configurations to rank.
+    """
+
+    kernel: Kernel
+    tiles: tuple[TileConfig, ...]
+
+    def shard_key(self) -> str:
+        return self.kernel.fingerprint()
+
+    def cache_key(self) -> tuple:
+        return ("tiles", self.kernel.fingerprint(), tuple(t.dims for t in self.tiles))
+
+
+@dataclass(frozen=True)
+class KernelRuntimeRequest:
+    """Predict one kernel's absolute runtime in seconds."""
+
+    kernel: Kernel
+
+    def shard_key(self) -> str:
+        return self.kernel.fingerprint()
+
+    def cache_key(self) -> tuple:
+        return ("kernel", self.kernel.fingerprint())
+
+
+@dataclass(frozen=True)
+class ProgramRuntimesRequest:
+    """Predict total runtimes for many candidate programs at once.
+
+    Attributes:
+        programs: one tuple of kernels per candidate program (a fusion
+            configuration applied to a graph yields such a kernel list).
+    """
+
+    programs: tuple[tuple[Kernel, ...], ...]
+
+    def shard_key(self) -> str:
+        # Route whole populations by their first kernel so one replica's
+        # prediction memo sees all configurations of one search.
+        for kernels in self.programs:
+            if kernels:
+                return kernels[0].fingerprint()
+        return ""
+
+    def cache_key(self) -> None:
+        # Populations are open-ended and rarely repeat exactly; per-kernel
+        # memoization inside the replica already captures the reuse.
+        return None
+
+
+Request = TileScoresRequest | KernelRuntimeRequest | ProgramRuntimesRequest
+
+
+@dataclass
+class Response:
+    """Result of one request.
+
+    Attributes:
+        value: ``np.ndarray`` of scores/runtimes (tile and program
+            requests) or a float (kernel-runtime requests).
+        model_version: registry version of the checkpoint that produced
+            ``value`` — one version per response, always (hot swaps apply
+            between batches, never inside one).
+        batch_size: number of coalesced requests in the executed
+            micro-batch ('1' for cache hits), for occupancy accounting.
+        cache_hit: served from the shared result cache without a forward.
+        latency_s: submit-to-resolution wall time.
+        error: traceback string when the request failed; ``value`` is None.
+    """
+
+    value: np.ndarray | float | None
+    model_version: str
+    batch_size: int = 1
+    cache_hit: bool = False
+    latency_s: float = 0.0
+    error: str | None = None
+
+    def unwrap(self) -> np.ndarray | float:
+        """The value, raising ``RuntimeError`` if the request failed."""
+        if self.error is not None:
+            raise RuntimeError(f"cost-model request failed: {self.error}")
+        assert self.value is not None
+        return self.value

@@ -1,0 +1,122 @@
+"""Versioned model registry with atomic activation.
+
+Checkpoints are stored as the serialized npz bytes produced by
+:func:`repro.models.serialize.save_model_bytes` — the registry never
+touches disk, so publishing and hot-swapping a checkpoint is a pure
+in-memory operation (and the bytes form is exactly what a cross-process
+registry would ship over a wire).
+
+Activation is a single reference swap under a lock: the service snapshots
+the active version once per micro-batch, so an in-flight batch keeps the
+checkpoint it started with and a swap never mixes two checkpoints inside
+one response.
+"""
+from __future__ import annotations
+
+import threading
+
+from ..models.serialize import load_model_bytes, save_model_bytes
+from ..models.trainer import TrainResult
+
+
+class ModelRegistry:
+    """In-memory store of serialized checkpoints, one of them *active*.
+
+    Versions are auto-assigned (``v1``, ``v2``, ...) unless the caller
+    names them. Deserialized checkpoints are memoized per version, so
+    repeated :meth:`get` calls (every replica-pool rebuild) pay the npz
+    decode once.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._blobs: dict[str, bytes] = {}
+        self._materialized: dict[str, TrainResult] = {}
+        self._order: list[str] = []
+        self._active: str | None = None
+        self._counter = 0
+
+    def publish(
+        self,
+        result: TrainResult | bytes,
+        version: str | None = None,
+        activate: bool = True,
+    ) -> str:
+        """Store a checkpoint; returns its version string.
+
+        Args:
+            result: a trained :class:`TrainResult` (serialized internally)
+                or pre-serialized checkpoint bytes.
+            version: explicit version name; auto-assigned when ``None``.
+            activate: immediately make this the active version. With
+                ``activate=False`` the registry's active version is left
+                untouched — including ``None`` on a fresh registry (staged
+                checkpoints never serve before an explicit
+                :meth:`activate`).
+
+        Raises:
+            ValueError: if ``version`` is already taken.
+        """
+        blob = result if isinstance(result, bytes) else save_model_bytes(result)
+        with self._lock:
+            if version is None:
+                self._counter += 1
+                version = f"v{self._counter}"
+            if version in self._blobs:
+                raise ValueError(f"version {version!r} already published")
+            self._blobs[version] = blob
+            self._order.append(version)
+            if activate:
+                self._active = version
+            self._prune_materialized_locked()
+        return version
+
+    def activate(self, version: str) -> None:
+        """Atomically make ``version`` the active checkpoint."""
+        with self._lock:
+            if version not in self._blobs:
+                raise KeyError(f"unknown model version {version!r}")
+            self._active = version
+            self._prune_materialized_locked()
+
+    def _prune_materialized_locked(self) -> None:
+        """Drop deserialized models of non-active versions (the blobs can
+        rebuild them on demand) so a long publish/swap history doesn't pin
+        every old checkpoint's parameters in memory."""
+        for version in list(self._materialized):
+            if version != self._active:
+                del self._materialized[version]
+
+    @property
+    def active_version(self) -> str | None:
+        """The currently active version (``None`` when empty)."""
+        with self._lock:
+            return self._active
+
+    @property
+    def versions(self) -> list[str]:
+        """All published versions, in publication order."""
+        with self._lock:
+            return list(self._order)
+
+    def get(self, version: str) -> TrainResult:
+        """Deserialize (memoized) the checkpoint stored under ``version``."""
+        with self._lock:
+            blob = self._blobs.get(version)
+            cached = self._materialized.get(version)
+        if blob is None:
+            raise KeyError(f"unknown model version {version!r}")
+        if cached is not None:
+            return cached
+        result = load_model_bytes(blob)
+        with self._lock:
+            self._materialized.setdefault(version, result)
+            return self._materialized[version]
+
+    def blob(self, version: str) -> bytes:
+        """The raw serialized checkpoint (what a remote node would fetch)."""
+        with self._lock:
+            try:
+                return self._blobs[version]
+            except KeyError:
+                raise KeyError(f"unknown model version {version!r}") from None

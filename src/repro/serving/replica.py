@@ -1,0 +1,155 @@
+"""Replica pool: fingerprint-sharded evaluators over one checkpoint.
+
+One checkpoint is served by N :class:`~repro.autotuner.LearnedEvaluator`
+replicas. Requests are routed by kernel fingerprint (stable content hash),
+so each replica's prediction memo and feature memo only ever see its own
+shard of the kernel population — N replicas give N times the effective
+memo capacity without duplication, the in-process analogue of
+cache-affinity placement in a multi-node serving tier.
+
+The expensive per-kernel *precomputes* (scaled features, normalized
+adjacency operators) live in one :class:`~repro.data.batching.KernelCache`
+shared by every replica: precomputes are read-mostly and identical across
+replicas, so sharing them trades no correctness for memory.
+
+A :class:`ResultCache` — fingerprint-keyed, LRU, shared across replicas
+and versions — short-circuits repeated identical requests before they
+reach any replica at all.
+"""
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from ..autotuner.evaluators import LearnedEvaluator
+from ..data.batching import KernelCache
+from ..models.trainer import TrainResult
+
+
+class ResultCache:
+    """Thread-safe LRU cache of finished responses, keyed by request.
+
+    Keys are ``(model_version, request.cache_key())`` so a hot swap never
+    serves a stale checkpoint's result. Counters feed the serving metrics.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: tuple | None):
+        """The cached value, or ``None`` (uncacheable keys always miss)."""
+        if key is None:
+            return None
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return value
+
+    def put(self, key: tuple | None, value) -> None:
+        if key is None or self.max_entries <= 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+class ReplicaPool:
+    """N fingerprint-sharded evaluator replicas over one checkpoint.
+
+    Args:
+        result: the checkpoint to serve.
+        version: registry version string (stamped on every response).
+        replicas: shard count.
+        max_cached_kernels: per-shard precompute/feature memo bound.
+        share_kernel_cache: keep one :class:`KernelCache` for all replicas
+            (the default — precomputes are identical across replicas).
+            When sharing, the cache bound scales with the replica count so
+            total capacity matches the unshared configuration.
+    """
+
+    def __init__(
+        self,
+        result: TrainResult,
+        version: str,
+        replicas: int = 1,
+        max_cached_kernels: int = 1024,
+        share_kernel_cache: bool = True,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.version = version
+        self.result = result
+        shared = None
+        if share_kernel_cache:
+            shared = KernelCache(
+                result.scalers,
+                neighbor_cap=result.model.config.neighbor_cap,
+                max_entries=replicas * max_cached_kernels,
+            )
+        self.replicas = [
+            LearnedEvaluator(
+                result.model,
+                result.scalers,
+                cache=True,
+                max_cached_kernels=max_cached_kernels,
+                batch_cache=shared,
+            )
+            for _ in range(replicas)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    def route(self, shard_key: str) -> LearnedEvaluator:
+        """The replica owning ``shard_key`` (stable fingerprint hash)."""
+        if len(self.replicas) == 1:
+            return self.replicas[0]
+        # Kernel fingerprints are hex sha256 digests — uniformly
+        # distributed already, so a slice of the digest is a fair shard id
+        # (and, unlike hash(), stable across processes for a future
+        # cross-process tier).
+        shard = int(shard_key[:8], 16) % len(self.replicas) if shard_key else 0
+        return self.replicas[shard]
+
+    def stats(self) -> dict[str, int]:
+        """Summed evaluator cache counters across replicas.
+
+        A shared :class:`KernelCache` is counted once, not per replica.
+        """
+        total: dict[str, int] = {}
+        seen_caches: set[int] = set()
+        for evaluator in self.replicas:
+            for key, value in evaluator.stats().items():
+                if not key.startswith("batch_"):
+                    total[key] = total.get(key, 0) + value
+            cache = evaluator.batch_cache
+            if id(cache) not in seen_caches:
+                seen_caches.add(id(cache))
+                for key, value in cache.stats().items():
+                    total[f"batch_{key}"] = total.get(f"batch_{key}", 0) + value
+        return total

@@ -1,0 +1,117 @@
+"""Micro-batching scheduler: coalesce queued requests into batches.
+
+Clients submit requests from any thread and immediately get a
+:class:`concurrent.futures.Future`. The scheduler holds the pending
+requests in arrival order and releases them in *micro-batches*: a batch is
+cut as soon as ``max_batch_size`` requests are pending, or once the oldest
+pending request has waited ``flush_interval_s`` — the classic
+latency/throughput dial of serving systems. The batch executor (the
+service's worker loop) turns each micro-batch into as few model forwards
+as possible.
+
+The scheduler is transport-agnostic and knows nothing about models; it is
+the piece a remote (socket/gRPC) front-end would feed in a cross-process
+deployment.
+"""
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from .protocol import Request
+
+
+@dataclass
+class PendingRequest:
+    """One queued request: payload, arrival time, and its future."""
+
+    request: Request
+    enqueued_at: float
+    future: Future = field(default_factory=Future, repr=False)
+
+
+class MicroBatcher:
+    """Thread-safe request queue with size/age batch-cut policy.
+
+    Args:
+        max_batch_size: cut a batch as soon as this many requests queue up.
+        flush_interval_s: cut a batch once the oldest pending request has
+            waited this long, even if the batch is not full (bounds the
+            latency a lone client pays for batching).
+    """
+
+    def __init__(self, max_batch_size: int = 64, flush_interval_s: float = 0.002) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if flush_interval_s < 0:
+            raise ValueError("flush_interval_s must be >= 0")
+        self.max_batch_size = max_batch_size
+        self.flush_interval_s = flush_interval_s
+        self._lock = threading.Lock()
+        self._nonempty = threading.Condition(self._lock)
+        self._pending: list[PendingRequest] = []
+        self._closed = False
+        self.submitted = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def submit(self, request: Request) -> Future:
+        """Enqueue a request; returns the future its response resolves."""
+        pending = PendingRequest(request=request, enqueued_at=time.perf_counter())
+        with self._nonempty:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            self._pending.append(pending)
+            self.submitted += 1
+            self._nonempty.notify()
+        return pending.future
+
+    def next_batch(self, timeout: float | None = None) -> list[PendingRequest]:
+        """Block until a batch is due, then return it (oldest first).
+
+        A batch is due when ``max_batch_size`` requests are pending or the
+        oldest has aged past ``flush_interval_s``. Returns ``[]`` on
+        ``timeout`` (the caller's chance to notice shutdown) and after
+        :meth:`close` once the queue has drained.
+        """
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._nonempty:
+            while True:
+                if self._pending:
+                    if len(self._pending) >= self.max_batch_size or self._closed:
+                        return self._cut()
+                    age = time.perf_counter() - self._pending[0].enqueued_at
+                    if age >= self.flush_interval_s:
+                        return self._cut()
+                    wait = self.flush_interval_s - age
+                elif self._closed:
+                    return []
+                else:
+                    wait = None
+                if deadline is not None:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        return []
+                    wait = remaining if wait is None else min(wait, remaining)
+                self._nonempty.wait(wait)
+
+    def drain(self) -> list[PendingRequest]:
+        """Take whatever is pending right now, without blocking (tests,
+        manual pumping, and shutdown all want an immediate cut)."""
+        with self._lock:
+            return self._cut()
+
+    def close(self) -> None:
+        """Refuse new submissions; wakes any blocked :meth:`next_batch`."""
+        with self._nonempty:
+            self._closed = True
+            self._nonempty.notify_all()
+
+    def _cut(self) -> list[PendingRequest]:
+        batch = self._pending[: self.max_batch_size]
+        del self._pending[: self.max_batch_size]
+        return batch

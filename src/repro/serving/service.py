@@ -1,0 +1,357 @@
+"""The cost-model inference service: scheduler + registry + replicas.
+
+``CostModelService`` is the in-process serving tier the paper's deployment
+mode implies: one warm learned model shared by many concurrent compile-time
+clients (tile tuners, fusion tuners, benchmark drivers). Requests from all
+clients funnel through a :class:`~repro.serving.scheduler.MicroBatcher`
+and are executed in coalesced model forwards:
+
+* tile-score requests for the *same kernel* are merged into one
+  ``score_tiles_batched`` call (their candidate lists concatenated, the
+  score vector split back per request);
+* kernel-runtime requests are merged into one
+  ``program_runtimes_batched`` call over single-kernel programs;
+* program-population requests are merged into one
+  ``program_runtimes_batched`` call over the concatenated populations.
+
+Model selection is snapshotted **once per micro-batch**: a registry hot
+swap (:meth:`ModelRegistry.activate`) takes effect at the next batch cut,
+so in-flight requests are never dropped and no response ever mixes two
+checkpoints. Each response is stamped with the version that produced it.
+
+The service runs either with a background worker thread (:meth:`start`,
+for genuinely concurrent clients) or fully synchronously
+(:meth:`flush` pumps pending requests on the caller's thread — the
+deterministic mode tests and single-threaded drivers use).
+"""
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..evaluation.service import ServingStats
+from ..models.trainer import TrainResult
+from .protocol import (
+    KernelRuntimeRequest,
+    ProgramRuntimesRequest,
+    Request,
+    Response,
+    TileScoresRequest,
+)
+from .registry import ModelRegistry
+from .replica import ReplicaPool, ResultCache
+from .scheduler import MicroBatcher, PendingRequest
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Serving knobs.
+
+    Attributes:
+        max_batch_size: micro-batch cut size (1 = naive per-request path).
+        flush_interval_s: max age of the oldest pending request before a
+            partial batch is cut anyway.
+        replicas: evaluator replicas to shard kernels across.
+        max_cached_kernels: per-replica precompute/feature memo bound.
+        result_cache_entries: shared result-cache capacity (0 disables).
+        share_kernel_cache: one precompute cache for all replicas.
+    """
+
+    max_batch_size: int = 64
+    flush_interval_s: float = 0.002
+    replicas: int = 1
+    max_cached_kernels: int = 1024
+    result_cache_entries: int = 4096
+    share_kernel_cache: bool = True
+
+
+class CostModelService:
+    """Micro-batched inference service over a versioned model registry.
+
+    Args:
+        source: a :class:`ModelRegistry` (possibly shared with other
+            services) or a bare :class:`TrainResult`, which is wrapped in
+            a private single-version registry.
+        config: serving knobs; defaults are sensible for in-process use.
+
+    Responses hand out cached arrays by reference; clients must treat
+    response values as read-only.
+    """
+
+    def __init__(
+        self,
+        source: ModelRegistry | TrainResult,
+        config: ServiceConfig | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        if isinstance(source, ModelRegistry):
+            self.registry = source
+        else:
+            self.registry = ModelRegistry()
+            self.registry.publish(source)
+        if self.registry.active_version is None:
+            raise ValueError("registry has no published model to serve")
+        self.scheduler = MicroBatcher(
+            max_batch_size=self.config.max_batch_size,
+            flush_interval_s=self.config.flush_interval_s,
+        )
+        self.result_cache = ResultCache(self.config.result_cache_entries)
+        self.stats = ServingStats()
+        self._pool: ReplicaPool | None = None
+        self._exec_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_running(self) -> bool:
+        """True while the background worker thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "CostModelService":
+        """Spawn the background worker; idempotent."""
+        if self._closed:
+            raise RuntimeError("service is stopped")
+        if not self.is_running:
+            self._thread = threading.Thread(
+                target=self._worker, name="cost-model-service", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain pending requests, then stop the worker; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.flush()  # never started: drain synchronously
+
+    def __enter__(self) -> "CostModelService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # request path
+    # ------------------------------------------------------------------ #
+
+    def submit(self, request: Request):
+        """Enqueue a request; returns a Future resolving to a Response.
+
+        Repeated identical requests are answered straight from the shared
+        result cache without queueing (latency ~0, no forward).
+        """
+        version = self.registry.active_version
+        try:
+            key = request.cache_key()
+        except Exception:
+            # Malformed requests still get a future; the worker resolves
+            # it with an error response instead of submit() throwing.
+            key = None
+        if key is not None:
+            cached = self.result_cache.get((version, key))
+            if cached is not None:
+                response = Response(
+                    value=cached, model_version=version, batch_size=1, cache_hit=True
+                )
+                self.stats.record_response(0.0, cache_hit=True)
+                future: Future = Future()
+                future.set_result(response)
+                return future
+        return self.scheduler.submit(request)
+
+    def flush(self) -> int:
+        """Execute everything currently pending on the caller's thread.
+
+        Returns the number of requests processed. This is the synchronous
+        pump for services without a worker thread; it is safe (serialized)
+        alongside a running worker but defeats the purpose if overused.
+        """
+        processed = 0
+        while True:
+            batch = self.scheduler.drain()
+            if not batch:
+                return processed
+            self._execute_safe(batch)
+            processed += len(batch)
+
+    def metrics(self) -> dict:
+        """One merged operational snapshot (stats + caches + placement)."""
+        snapshot = self.stats.snapshot()
+        snapshot.update(
+            {f"result_cache_{k}": v for k, v in self.result_cache.stats().items()}
+        )
+        pool = self._pool
+        if pool is not None:
+            snapshot.update({f"evaluator_{k}": v for k, v in pool.stats().items()})
+        snapshot["active_version"] = self.registry.active_version
+        snapshot["replicas"] = float(self.config.replicas)
+        snapshot["pending"] = float(len(self.scheduler))
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # worker
+    # ------------------------------------------------------------------ #
+
+    def _worker(self) -> None:
+        while True:
+            batch = self.scheduler.next_batch(timeout=0.1)
+            if batch:
+                self._execute_safe(batch)
+            elif self._closed:
+                return
+
+    def _execute_safe(self, batch: list[PendingRequest]) -> None:
+        """Execute a batch; a failure fails the batch, never the worker."""
+        try:
+            self._execute(batch)
+        except Exception:
+            message = traceback.format_exc()
+            version = self.registry.active_version
+            for pending in batch:
+                self._resolve_error(pending, version, message)
+
+    def _pool_for(self, version: str) -> ReplicaPool:
+        if self._pool is None or self._pool.version != version:
+            self._pool = ReplicaPool(
+                self.registry.get(version),
+                version,
+                replicas=self.config.replicas,
+                max_cached_kernels=self.config.max_cached_kernels,
+                share_kernel_cache=self.config.share_kernel_cache,
+            )
+        return self._pool
+
+    def _execute(self, batch: list[PendingRequest]) -> None:
+        """Run one micro-batch: group, forward, resolve, account."""
+        with self._exec_lock:
+            # Checkpoint snapshot for the whole batch — the hot-swap
+            # atomicity guarantee lives on this line.
+            version = self.registry.active_version
+            pool = self._pool_for(version)
+            forwards = 0
+
+            tile_groups: dict[tuple[int, str], list[PendingRequest]] = {}
+            runtime_groups: dict[int, list[PendingRequest]] = {}
+            program_groups: dict[int, list[PendingRequest]] = {}
+            for pending in batch:
+                request = pending.request
+                try:
+                    # A malformed request (e.g. fingerprinting raises) must
+                    # fail alone, not take its co-batched neighbours down.
+                    evaluator = pool.route(request.shard_key())
+                    if isinstance(request, TileScoresRequest):
+                        key = (id(evaluator), request.kernel.fingerprint())
+                        tile_groups.setdefault(key, []).append(pending)
+                    elif isinstance(request, KernelRuntimeRequest):
+                        runtime_groups.setdefault(id(evaluator), []).append(pending)
+                    elif isinstance(request, ProgramRuntimesRequest):
+                        program_groups.setdefault(id(evaluator), []).append(pending)
+                    else:
+                        self._resolve_error(
+                            pending,
+                            version,
+                            f"unknown request type {type(request).__name__}",
+                        )
+                except Exception:
+                    self._resolve_error(pending, version, traceback.format_exc())
+
+            evaluators = {id(e): e for e in pool.replicas}
+
+            for (evaluator_id, _), group in tile_groups.items():
+                evaluator = evaluators[evaluator_id]
+                kernel = group[0].request.kernel
+                merged = [t for p in group for t in p.request.tiles]
+                try:
+                    scores = evaluator.score_tiles_batched(kernel, merged)
+                    forwards += 1
+                except Exception:
+                    self._resolve_group_error(group, version)
+                    continue
+                offset = 0
+                for pending in group:
+                    n = len(pending.request.tiles)
+                    value = np.asarray(scores[offset:offset + n])
+                    offset += n
+                    self._resolve(pending, value, version, len(group))
+
+            for evaluator_id, group in runtime_groups.items():
+                evaluator = evaluators[evaluator_id]
+                try:
+                    runtimes = evaluator.program_runtimes_batched(
+                        [[p.request.kernel] for p in group]
+                    )
+                    forwards += 1
+                except Exception:
+                    self._resolve_group_error(group, version)
+                    continue
+                for pending, runtime in zip(group, runtimes):
+                    self._resolve(pending, float(runtime), version, len(group))
+
+            for evaluator_id, group in program_groups.items():
+                evaluator = evaluators[evaluator_id]
+                merged_programs = [
+                    list(kernels) for p in group for kernels in p.request.programs
+                ]
+                try:
+                    runtimes = evaluator.program_runtimes_batched(merged_programs)
+                    forwards += 1
+                except Exception:
+                    self._resolve_group_error(group, version)
+                    continue
+                offset = 0
+                for pending in group:
+                    n = len(pending.request.programs)
+                    value = np.asarray(runtimes[offset:offset + n])
+                    offset += n
+                    self._resolve(pending, value, version, len(group))
+
+            self.stats.record_batch(len(batch), forwards)
+
+    def _resolve(
+        self, pending: PendingRequest, value, version: str, group_size: int
+    ) -> None:
+        if pending.future.done():
+            return
+        latency = time.perf_counter() - pending.enqueued_at
+        key = pending.request.cache_key()
+        if key is not None:
+            self.result_cache.put((version, key), value)
+        self.stats.record_response(latency, cache_hit=False)
+        pending.future.set_result(
+            Response(
+                value=value,
+                model_version=version,
+                batch_size=group_size,
+                latency_s=latency,
+            )
+        )
+
+    def _resolve_error(self, pending: PendingRequest, version: str, message: str) -> None:
+        if pending.future.done():
+            return
+        latency = time.perf_counter() - pending.enqueued_at
+        self.stats.record_response(latency, cache_hit=False, error=True)
+        pending.future.set_result(
+            Response(
+                value=None, model_version=version, latency_s=latency, error=message
+            )
+        )
+
+    def _resolve_group_error(self, group: list[PendingRequest], version: str) -> None:
+        message = traceback.format_exc()
+        for pending in group:
+            self._resolve_error(pending, version, message)

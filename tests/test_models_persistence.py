@@ -8,9 +8,11 @@ from repro.models import (
     TrainConfig,
     fine_tune,
     load_model,
+    load_model_bytes,
     predict_fusion_runtimes,
     predict_tile_scores,
     save_model,
+    save_model_bytes,
     train_fusion_model,
     train_tile_model,
 )
@@ -67,6 +69,33 @@ class TestSaveLoad:
         path = tmp_path / "m.npz"
         save_model(path, res)
         assert not load_model(path).model.training
+
+    def test_bytes_roundtrip_no_disk(self, tile_result):
+        ds, res = tile_result
+        blob = save_model_bytes(res)
+        loaded = load_model_bytes(blob)
+        assert loaded.model.config == res.model.config
+        assert not loaded.model.training
+        for name, arr in res.model.state_dict().items():
+            np.testing.assert_allclose(
+                arr, loaded.model.state_dict()[name], rtol=1e-5, atol=1e-8
+            )
+        r = ds.records[0]
+        np.testing.assert_allclose(
+            predict_tile_scores(res.model, res.scalers, r),
+            predict_tile_scores(loaded.model, loaded.scalers, r),
+            rtol=1e-3, atol=1e-6,
+        )
+
+    def test_bytes_and_file_forms_are_interchangeable(self, tile_result, tmp_path):
+        _, res = tile_result
+        path = tmp_path / "m.npz"
+        path.write_bytes(save_model_bytes(res))
+        via_file = load_model(path)
+        via_bytes = load_model_bytes(save_model_bytes(res))
+        # The two transports must agree exactly — same archive format.
+        for name, arr in via_bytes.model.state_dict().items():
+            np.testing.assert_array_equal(arr, via_file.model.state_dict()[name])
 
     def test_scaler_state_preserved(self, tile_result, tmp_path):
         _, res = tile_result

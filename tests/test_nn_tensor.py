@@ -178,6 +178,32 @@ class TestEngine:
             y = x * 2.0
         assert not y.requires_grad
 
+    def test_no_grad_is_thread_local(self):
+        # A serving thread under no_grad() must not disable the tape for a
+        # concurrently training thread (the train-while-serving workflow).
+        import threading
+
+        inside = threading.Event()
+        release = threading.Event()
+
+        def infer():
+            with no_grad():
+                inside.set()
+                release.wait(timeout=5)
+
+        worker = threading.Thread(target=infer)
+        worker.start()
+        try:
+            assert inside.wait(timeout=5)
+            x = Tensor(np.ones(3), requires_grad=True)
+            y = x * 2.0  # built while the other thread sits in no_grad()
+            assert y.requires_grad
+            y.sum().backward()
+            np.testing.assert_allclose(x.grad, [2.0, 2.0, 2.0], rtol=1e-6)
+        finally:
+            release.set()
+            worker.join()
+
     def test_detach(self):
         x = Tensor(np.ones(3), requires_grad=True)
         y = x.detach() * 5.0
