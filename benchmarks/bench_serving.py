@@ -1,7 +1,7 @@
-"""Serving-layer throughput benchmark, as JSON.
+"""Serving-stack throughput benchmark, as JSON.
 
 Measures requests/sec for tile-score queries at 1/4/16 concurrent clients
-against three serving configurations:
+across the transport x executor matrix:
 
 * **direct** — each client thread owns a warm
   :class:`~repro.autotuner.LearnedEvaluator` and calls it in-process (no
@@ -10,24 +10,59 @@ against three serving configurations:
 * **naive service** — one shared ``CostModelService`` with
   ``max_batch_size=1``: every request pays its own forward pass (the
   per-request RPC baseline);
-* **micro-batched service** — the same service with coalescing enabled:
-  queued same-kernel requests merge into shared forward passes.
+* **micro-batched service** — the same service with coalescing enabled
+  and the fixed 2 ms flush window (the PR 2 configuration);
+* **adaptive service** — micro-batching with the flush window derived
+  from the inter-arrival EMA: zero wait in the sparse 1-client regime,
+  the full window under dense concurrent load;
+* **threaded pool** (max clients) — micro-batched + 4 in-thread shards:
+  the in-process placement the process executor must beat;
+* **process shards** (max clients) — micro-batched + 4 worker
+  subprocesses: shard-fused forwards, checkpoints shipped as blobs;
+* **socket frontend** (max clients) — the same micro-batched service
+  queried through the length-prefixed TCP frontend, one connection per
+  client. The clients run in their own process — the deployment shape
+  the socket transport exists for (an in-server client thread pool would
+  charge all client-side work to the server's interpreter) — and the
+  flush window is doubled, the usual scaling of a batching window with
+  transport round-trip time.
 
-The workload models concurrent autotuner workers splitting one kernel's
-candidate population: each request asks for scores of a small chunk of
-candidate tiles, the query stream an annealing/genetic search emits.
+Two workload regimes, because the serving wins live in different ones:
+
+* **population-splitting** (the coalescing rows): every client walks the
+  same (kernel, tile-chunk) stream — concurrent search workers splitting
+  one kernel's candidate population. Same-instant requests hit the same
+  kernel and coalesce into single shared forwards (the micro-batching
+  win). This is the PR 2 workload, kept for comparability.
+* **independent tuners** (the placement rows): each client walks the
+  stream at its own rotation — N tuners each tuning a different kernel
+  subset, the deployment sharding exists for. Batches then span many
+  distinct kernels, which is what differentiates executors: the
+  in-thread pool pays one forward per kernel, the process executor fuses
+  each shard's slice into one multi-kernel forward.
+
 The result cache is disabled so every request exercises the full path.
 
 Run with ``REPRO_BENCH_FAST=1`` for the CI smoke configuration. Output is
 one JSON object on stdout (tracked PR-over-PR in ROADMAP.md). In full
-mode the exit code enforces the acceptance bar: micro-batched >= 3x naive
-at 16 clients. Fast mode is informational only (it still fails on
-crashes): its request counts are far too small for stable ratios, so
-gating on them would make CI flaky.
+mode the exit code enforces the acceptance bars:
+
+* micro-batched >= 3x naive at max clients (the PR 2 bar);
+* adaptive >= 1.5x fixed micro-batched at 1 client (no lone-client tax)
+  while holding >= 3x naive at max clients;
+* process shards beat the equally-sharded threaded pool at max clients
+  (independent-tuner regime);
+* the socket frontend sustains >= 0.5x in-process throughput at max
+  clients (population-splitting regime, same as its baseline).
+
+Fast mode is informational only (it still fails on crashes): its request
+counts are far too small for stable ratios, so gating on them would make
+CI flaky.
 """
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
 import sys
 import threading
@@ -45,12 +80,19 @@ from repro.serving import (  # noqa: E402
     CostModelService,
     ServiceConfig,
     ServiceEvaluator,
+    SocketEvaluator,
+    SocketFrontend,
 )
 from repro.workloads import vision  # noqa: E402
 
 FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
 
 CHUNK = 4  # candidate tiles per request (one search step's proposals)
+SHARDS = 2 if FAST else 4  # shard count for the pool/process rows
+#: Measured passes per configuration; the best is reported. The container
+#: benchmark box is small and noisy, so single-pass ratios between rows
+#: wander by tens of percent — best-of-N compares steady-state capability.
+REPEATS = 1 if FAST else 3
 
 
 def _workload(records, requests_per_client: int):
@@ -69,17 +111,39 @@ def _workload(records, requests_per_client: int):
     return stream
 
 
-def _run_clients(num_clients: int, stream, make_scorer) -> dict:
-    """Spin up clients, each scoring the whole stream; requests/sec."""
+def _client_streams(stream, num_clients: int, decorrelate: bool):
+    """Per-client request streams for one measured pass.
+
+    Correlated (default): every client walks the identical stream —
+    population-splitting workers, maximal same-kernel coalescing.
+    De-correlated: client ``i`` starts at its own rotation — independent
+    tuners, so any instant's batch spans many distinct kernels.
+    """
+    if not decorrelate:
+        return [stream] * num_clients
+    return [
+        stream[(i * len(stream)) // num_clients:]
+        + stream[: (i * len(stream)) // num_clients]
+        for i in range(num_clients)
+    ]
+
+
+def _run_clients_once(num_clients: int, streams, make_scorer) -> dict:
+    """Spin up clients, each scoring its stream; requests/sec."""
     barrier = threading.Barrier(num_clients + 1)
 
-    def client() -> None:
+    def client(index: int) -> None:
         scorer = make_scorer()
         barrier.wait()
-        for kernel, tiles in stream:
+        for kernel, tiles in streams[index]:
             scorer.score_tiles_batched(kernel, tiles)
+        closer = getattr(scorer, "close", None)
+        if closer is not None:
+            closer()
 
-    threads = [threading.Thread(target=client) for _ in range(num_clients)]
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(num_clients)
+    ]
     for t in threads:
         t.start()
     barrier.wait()
@@ -87,13 +151,111 @@ def _run_clients(num_clients: int, stream, make_scorer) -> dict:
     for t in threads:
         t.join()
     elapsed = time.perf_counter() - start
-    total = num_clients * len(stream)
+    total = sum(len(s) for s in streams)
     return {
         "clients": num_clients,
         "requests": total,
         "requests_per_sec": total / elapsed,
         "elapsed_s": elapsed,
     }
+
+
+def _run_clients(num_clients: int, streams, make_scorer) -> dict:
+    """Best of ``REPEATS`` measured passes (noise-robust comparison)."""
+    best = None
+    for _ in range(REPEATS):
+        report = _run_clients_once(num_clients, streams, make_scorer)
+        if best is None or report["requests_per_sec"] > best["requests_per_sec"]:
+            best = report
+    best["measured_passes"] = REPEATS
+    return best
+
+
+def _socket_client_proc(
+    address, stream, num_conns: int, go_events, done_queue, repeats: int
+) -> None:
+    """Client-process half of the socket row: N connections, one thread
+    each, driven through ``repeats`` handshake-synchronized passes."""
+    from repro.serving import SocketEvaluator
+
+    evaluators = [SocketEvaluator(address, timeout_s=300.0) for _ in range(num_conns)]
+
+    def drive(evaluator) -> None:
+        for kernel, tiles in stream:
+            evaluator.score_tiles_batched(kernel, tiles)
+
+    for i in range(repeats):
+        done_queue.put(("ready", i))
+        go_events[i].wait()
+        threads = [
+            threading.Thread(target=drive, args=(e,)) for e in evaluators
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        done_queue.put(("done", i))
+    for evaluator in evaluators:
+        evaluator.close()
+
+
+def _await_client(queue, process, expected, timeout: float = 600.0):
+    """Wait for the client process's handshake message, noticing a dead
+    child within seconds instead of sitting out the whole timeout."""
+    import queue as queue_module
+
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            message = queue.get(timeout=5.0)
+        except queue_module.Empty:
+            if not process.is_alive():
+                raise RuntimeError(
+                    f"socket client process died before {expected!r} "
+                    f"(exitcode={process.exitcode})"
+                ) from None
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"no {expected!r} from socket client process")
+            continue
+        if message != expected:
+            raise RuntimeError(f"unexpected client handshake {message!r}")
+        return
+
+
+def _run_socket_clients(frontend, stream, num_clients: int) -> dict:
+    """Measure the socket frontend against a separate client process."""
+    ctx = multiprocessing.get_context("spawn")
+    go_events = [ctx.Event() for _ in range(REPEATS)]
+    done_queue = ctx.Queue()
+    process = ctx.Process(
+        target=_socket_client_proc,
+        args=(frontend.address, stream, num_clients, go_events, done_queue, REPEATS),
+    )
+    process.start()
+    best = None
+    try:
+        for i in range(REPEATS):
+            _await_client(done_queue, process, ("ready", i))
+            go_events[i].set()
+            start = time.perf_counter()
+            _await_client(done_queue, process, ("done", i))
+            elapsed = time.perf_counter() - start
+            total = num_clients * len(stream)
+            report = {
+                "clients": num_clients,
+                "requests": total,
+                "requests_per_sec": total / elapsed,
+                "elapsed_s": elapsed,
+            }
+            if best is None or report["requests_per_sec"] > best["requests_per_sec"]:
+                best = report
+    finally:
+        process.join(timeout=60)
+        if process.is_alive():
+            process.terminate()
+    best["measured_passes"] = REPEATS
+    best["client_process"] = True
+    return best
 
 
 def bench_direct(result, stream, num_clients: int) -> dict:
@@ -104,37 +266,70 @@ def bench_direct(result, stream, num_clients: int) -> dict:
             evaluator.score_tiles_batched(kernel, tiles)  # warm caches
         return evaluator
 
-    return _run_clients(num_clients, stream, make_scorer)
+    return _run_clients(num_clients, _client_streams(stream, num_clients, False), make_scorer)
 
 
-def bench_service(result, stream, num_clients: int, max_batch_size: int) -> dict:
+def bench_service(
+    result,
+    stream,
+    num_clients: int,
+    max_batch_size: int,
+    adaptive_flush: bool = False,
+    replicas: int = 1,
+    executor: str = "thread",
+    transport: str = "inproc",
+    decorrelate: bool = False,
+    flush_interval_s: float = 0.002,
+) -> dict:
     config = ServiceConfig(
         max_batch_size=max_batch_size,
-        flush_interval_s=0.002,
+        flush_interval_s=flush_interval_s,
+        adaptive_flush=adaptive_flush,
+        replicas=replicas,
+        executor=executor,
         result_cache_entries=0,  # every request must exercise the model
     )
     with CostModelService(result, config) as service:
-        # Warm the replica's kernel caches so all configurations compete
-        # on steady-state forward-pass throughput.
+        # Warm the executor's kernel caches (and, for the process
+        # executor, spawn + sync the workers and intern the kernels) so
+        # all configurations compete on steady-state forward throughput.
         warm = ServiceEvaluator(service)
         for kernel, tiles in stream:
             warm.score_tiles_batched(kernel, tiles)
         # Fresh stats: occupancy/latency must describe measured traffic
         # only, not the sequential warmup.
         service.stats = ServingStats()
-        report = _run_clients(
-            num_clients, stream, lambda: ServiceEvaluator(service)
-        )
+        if transport == "socket":
+            with SocketFrontend(service) as frontend:
+                report = _run_socket_clients(frontend, stream, num_clients)
+        else:
+            streams = _client_streams(stream, num_clients, decorrelate)
+            report = _run_clients(
+                num_clients, streams, lambda: ServiceEvaluator(service)
+            )
         metrics = service.metrics()
     report["batch_occupancy"] = metrics["batch_occupancy"]
     report["requests_per_forward"] = metrics["requests_per_forward"]
     report["latency_p50_s"] = metrics["latency_p50_s"]
     report["latency_p99_s"] = metrics["latency_p99_s"]
+    if replicas > 1:
+        report["per_shard_requests"] = {
+            shard: entry["requests"]
+            for shard, entry in metrics["per_shard"].items()
+        }
     return report
 
 
 def main() -> dict:
-    programs = [vision.image_embed(0)] if FAST else [vision.resnet_v1(0), vision.alexnet(0)]
+    # A wide kernel pool (~30 kernels full mode): the independent-tuner
+    # regime needs many distinct kernels in flight to be meaningful.
+    if FAST:
+        programs = [vision.image_embed(0)]
+    else:
+        programs = [
+            vision.resnet_v1(0), vision.alexnet(0),
+            vision.image_embed(0), vision.ssd(0),
+        ]
     dataset = build_tile_dataset(
         programs,
         max_kernels_per_program=4 if FAST else 8,
@@ -157,9 +352,14 @@ def main() -> dict:
         "num_kernels": len(dataset.records),
         "tiles_per_request": CHUNK,
         "requests_per_client": requests_per_client,
+        "shards": SHARDS,
         "direct": {},
         "naive_service": {},
         "micro_batched_service": {},
+        "adaptive_service": {},
+        "threaded_pool_service": {},
+        "process_shard_service": {},
+        "socket_service": {},
     }
     for n in client_counts:
         report["direct"][str(n)] = bench_direct(result, stream, n)
@@ -167,17 +367,85 @@ def main() -> dict:
         report["micro_batched_service"][str(n)] = bench_service(
             result, stream, n, max_batch_size=64
         )
+        report["adaptive_service"][str(n)] = bench_service(
+            result, stream, n, max_batch_size=64, adaptive_flush=True
+        )
 
-    top = str(client_counts[-1])
+    # The placement matrix is a max-concurrency, independent-tuner story;
+    # measuring at one client count keeps full-mode runtime sane. Both
+    # placement rows run the identical de-correlated workload. The socket
+    # row runs the population-splitting workload, like the in-process
+    # baseline it is compared against.
+    top_n = client_counts[-1]
+    top = str(top_n)
+    report["threaded_pool_service"][top] = bench_service(
+        result, stream, top_n, max_batch_size=64, adaptive_flush=True,
+        replicas=SHARDS, executor="thread", decorrelate=True,
+    )
+    report["process_shard_service"][top] = bench_service(
+        result, stream, top_n, max_batch_size=64, adaptive_flush=True,
+        replicas=SHARDS, executor="process", decorrelate=True,
+    )
+    report["socket_service"][top] = bench_service(
+        result, stream, top_n, max_batch_size=64, adaptive_flush=True,
+        transport="socket", flush_interval_s=0.004,
+    )
+
+    rps = lambda row: row["requests_per_sec"]  # noqa: E731
     report["speedup_vs_naive_at_max_clients"] = (
-        report["micro_batched_service"][top]["requests_per_sec"]
-        / report["naive_service"][top]["requests_per_sec"]
+        rps(report["micro_batched_service"][top]) / rps(report["naive_service"][top])
+    )
+    report["adaptive_vs_naive_at_max_clients"] = (
+        rps(report["adaptive_service"][top]) / rps(report["naive_service"][top])
+    )
+    report["adaptive_vs_fixed_at_1_client"] = (
+        rps(report["adaptive_service"]["1"]) / rps(report["micro_batched_service"]["1"])
+    )
+    report["process_vs_threaded_pool_at_max_clients"] = (
+        rps(report["process_shard_service"][top])
+        / rps(report["threaded_pool_service"][top])
+    )
+    report["socket_vs_inprocess_at_max_clients"] = (
+        rps(report["socket_service"][top]) / rps(report["adaptive_service"][top])
     )
     return report
+
+
+def _gates(report: dict) -> list[str]:
+    """Acceptance bars enforced by exit code in full mode."""
+    failures = []
+    if report["speedup_vs_naive_at_max_clients"] < 3.0:
+        failures.append(
+            f"micro-batched vs naive at max clients: "
+            f"{report['speedup_vs_naive_at_max_clients']:.2f}x < 3.0x"
+        )
+    if report["adaptive_vs_naive_at_max_clients"] < 3.0:
+        failures.append(
+            f"adaptive vs naive at max clients: "
+            f"{report['adaptive_vs_naive_at_max_clients']:.2f}x < 3.0x"
+        )
+    if report["adaptive_vs_fixed_at_1_client"] < 1.5:
+        failures.append(
+            f"adaptive vs fixed micro-batching at 1 client: "
+            f"{report['adaptive_vs_fixed_at_1_client']:.2f}x < 1.5x"
+        )
+    if report["process_vs_threaded_pool_at_max_clients"] <= 1.0:
+        failures.append(
+            f"process shards vs threaded pool at max clients: "
+            f"{report['process_vs_threaded_pool_at_max_clients']:.2f}x <= 1.0x"
+        )
+    if report["socket_vs_inprocess_at_max_clients"] < 0.5:
+        failures.append(
+            f"socket vs in-process at max clients: "
+            f"{report['socket_vs_inprocess_at_max_clients']:.2f}x < 0.5x"
+        )
+    return failures
 
 
 if __name__ == "__main__":
     report = main()
     print(json.dumps(report, indent=2))
-    ok = FAST or report["speedup_vs_naive_at_max_clients"] >= 3.0
-    sys.exit(0 if ok else 1)
+    failures = [] if FAST else _gates(report)
+    for failure in failures:
+        print(f"BENCH GATE FAILED: {failure}", file=sys.stderr)
+    sys.exit(1 if failures else 0)

@@ -1,13 +1,16 @@
 """Serve one warm cost model to many concurrent autotuner clients.
 
-Walkthrough of the serving layer: train a small tile model, publish it to
-a versioned registry, stand up the micro-batched inference service, run
-several tile autotuners concurrently against it through the standard
-evaluator interface, hot-swap a fine-tuned checkpoint mid-flight, and read
-the service metrics.
+Walkthrough of the three-layer serving stack: train a small tile model,
+publish it to a versioned registry, stand up the micro-batched inference
+service (scheduler core), run several tile autotuners concurrently against
+it through the standard evaluator interface, hot-swap a fine-tuned
+checkpoint mid-flight, attach a TCP socket frontend and query it like a
+remote tuner would, spill the registry to disk, and read the service
+metrics — including the per-shard executor breakdown.
 
 Run:  PYTHONPATH=src python examples/serve_cost_model.py
 """
+import tempfile
 import threading
 
 from repro.autotuner import HardwareEvaluator, model_tile_autotune
@@ -18,6 +21,8 @@ from repro.serving import (
     ModelRegistry,
     ServiceConfig,
     ServiceEvaluator,
+    SocketEvaluator,
+    SocketFrontend,
 )
 from repro.workloads import vision
 
@@ -35,15 +40,22 @@ def main() -> None:
     )
     result = train_tile_model(dataset.records, config, TrainConfig(steps=60, log_every=30))
 
-    # 2. Publish it. The registry stores serialized checkpoint bytes —
-    #    no disk, and hot swaps are atomic reference flips.
+    # 2. Publish it. The registry stores sealed checkpoint blobs (magic +
+    #    SHA-256, so corruption is caught before deserialization) — hot
+    #    swaps are atomic reference flips.
     registry = ModelRegistry()
     v1 = registry.publish(result)
     print(f"published checkpoint {v1} ({len(registry.blob(v1)) // 1024} kB serialized)")
 
-    # 3. Serve it. One service, one warm model, shared by every client;
-    #    queued queries coalesce into shared batched forward passes.
-    service_config = ServiceConfig(max_batch_size=32, flush_interval_s=0.002, replicas=2)
+    # 3. Serve it. One scheduler core, one warm model, shared by every
+    #    frontend; queued queries coalesce into shared batched forwards.
+    #    The executor layer decides *where* forwards run: replicas=2 with
+    #    the default "thread" executor shards in-process; executor=
+    #    "process" would place each shard in its own worker subprocess
+    #    (true parallel forwards — see benchmarks/bench_serving.py).
+    service_config = ServiceConfig(
+        max_batch_size=32, flush_interval_s=0.002, adaptive_flush=True, replicas=2
+    )
     with CostModelService(registry, service_config) as service:
         # 4. Concurrent tuner clients — note: *unchanged* autotuner code,
         #    ServiceEvaluator speaks the standard evaluator protocol.
@@ -78,16 +90,49 @@ def main() -> None:
         for name, (speedup, version) in sorted(results.items()):
             print(f"  tuner {name:16s} speedup {speedup:5.2f}x  (served by {version})")
 
-        # 6. The service's operational story, in numbers.
+        # 6. Remote ingress: a TCP socket frontend feeding the same
+        #    scheduler core — a tuner in another process or machine would
+        #    connect exactly like this and share the same micro-batches.
+        with SocketFrontend(service) as frontend:
+            host, port = frontend.address
+            print(f"socket frontend listening on {host}:{port}")
+            with SocketEvaluator(frontend.address) as remote:
+                kernel = dataset.records[0].kernel
+                runtime = remote.kernel_runtime(kernel)
+                print(
+                    f"  remote kernel_runtime over TCP: {runtime:.3e} s "
+                    f"(served by {remote.model_version})"
+                )
+            print(f"  frontend traffic: {frontend.stats()}")
+
+        # 7. Persistence: spill every version + the active marker to disk;
+        #    a restarted service (or a fresh worker) recovers the exact
+        #    active checkpoint bytes.
+        with tempfile.TemporaryDirectory() as spill_dir:
+            registry.spill(spill_dir)
+            restored = ModelRegistry.load(spill_dir)
+            assert restored.blob(v2) == registry.blob(v2)
+            print(f"registry spilled + restored byte-identically (active {restored.active_version})")
+
+        # 8. The service's operational story, in numbers — service-wide
+        #    first, then the per-shard executor breakdown.
         metrics = service.metrics()
         print("service metrics:")
         for key in (
             "requests", "qps", "batches", "batch_occupancy",
             "requests_per_forward", "cache_hit_rate",
-            "latency_p50_s", "latency_p99_s", "active_version",
+            "latency_p50_s", "latency_p99_s", "active_version", "executor",
         ):
             value = metrics[key]
             print(f"  {key:22s} {value:.4f}" if isinstance(value, float) else f"  {key:22s} {value}")
+        print("per-shard breakdown:")
+        for shard, entry in metrics["per_shard"].items():
+            print(
+                f"  shard {shard}: requests {entry['requests']:.0f}, "
+                f"forwards {entry['forwards']:.0f}, "
+                f"occupancy {entry['requests_per_forward']:.1f}, "
+                f"p99 {entry['latency_p99_s'] * 1e3:.2f} ms"
+            )
 
 
 if __name__ == "__main__":

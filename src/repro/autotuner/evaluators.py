@@ -158,6 +158,21 @@ class LearnedEvaluator:
         self.prediction_memo_misses = 0
         self.prediction_memo_evictions = 0
 
+    @classmethod
+    def from_checkpoint_bytes(cls, blob: bytes, **kwargs) -> "LearnedEvaluator":
+        """Build a warm evaluator straight from checkpoint blob bytes.
+
+        ``blob`` is the sealed form produced by
+        :func:`repro.models.serialize.save_model_bytes` — exactly what a
+        :class:`~repro.serving.ModelRegistry` ships to executor worker
+        processes and remote nodes. Integrity failures raise the typed
+        ``ModelBlobError`` before any model state is touched.
+        """
+        from ..models.serialize import load_model_bytes
+
+        result = load_model_bytes(blob)
+        return cls(result.model, result.scalers, **kwargs)
+
     def stats(self) -> dict[str, int]:
         """Cache counter snapshot (the serving metrics layer reads this).
 
@@ -230,6 +245,39 @@ class LearnedEvaluator:
         if not tiles:
             return np.zeros(0, dtype=np.float32)
         return self.tile_scores(kernel, tiles)
+
+    def score_tile_groups(
+        self, groups: list[tuple[Kernel, list[TileConfig]]]
+    ) -> list[np.ndarray]:
+        """Score several kernels' candidate tiles in **one** forward pass.
+
+        The cross-kernel analogue of :meth:`score_tiles_batched`: every
+        (kernel, tile) pair becomes one batch item — the same multi-kernel
+        assembly the trainer and :meth:`program_runtimes_batched` use — so
+        N kernels' populations cost one forward instead of N. Returns one
+        score array per group, in order. With a single group this is
+        bitwise-identical to :meth:`score_tiles_batched`; multiple groups
+        change the batch shape, which moves scores only at float32 BLAS
+        rounding level (the serving layer's sharded executor exploits
+        this to amortize per-forward fixed costs).
+        """
+        items: list[BatchItem] = []
+        counts: list[int] = []
+        for group_index, (kernel, tiles) in enumerate(groups):
+            features = self._features(kernel)
+            items.extend(
+                (features, tile_features(t), 0.0, group_index) for t in tiles
+            )
+            counts.append(len(tiles))
+        if not items:
+            return [np.zeros(0, dtype=np.float32) for _ in groups]
+        scores = self.model.predict(self._assemble(items))
+        out: list[np.ndarray] = []
+        offset = 0
+        for n in counts:
+            out.append(np.asarray(scores[offset:offset + n]))
+            offset += n
+        return out
 
     def kernel_runtime(self, kernel: Kernel, tile: TileConfig | None = None) -> float:
         """Predicted absolute runtime in seconds (fusion-task models)."""

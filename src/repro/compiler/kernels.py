@@ -10,10 +10,11 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from ..hlo.graph import Graph
 from ..hlo.opcodes import OpCategory, Opcode, opcode_info
+from ..hlo.serialize import graph_from_dict, graph_to_dict
 
 
 KERNEL_KINDS = ("fusion", "convolution", "data_formatting", "other")
@@ -74,6 +75,30 @@ class Kernel:
                 )
             self._fingerprint = h.hexdigest()
         return self._fingerprint
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form of the kernel (graph + metadata).
+
+        The inverse, :meth:`from_dict`, rebuilds a kernel whose
+        :meth:`fingerprint` is identical — this pair is what the serving
+        layer's wire protocol ships across process and machine boundaries.
+        """
+        return {
+            "graph": graph_to_dict(self.graph),
+            "kind": self.kind,
+            "program_name": self.program_name,
+            "index": self.index,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Kernel":
+        """Rebuild a kernel serialized by :meth:`to_dict`."""
+        return cls(
+            graph=graph_from_dict(data["graph"]),
+            kind=data["kind"],
+            program_name=data["program_name"],
+            index=data["index"],
+        )
 
     def has_tile_options(self) -> bool:
         """Whether this kernel supports tile-size selection.

@@ -24,6 +24,10 @@ import numpy as np
 #: long-lived service never grows.
 _LATENCY_WINDOW = 8192
 
+#: Per-shard latency window: smaller than the global one (there are many
+#: shards) but still enough for stable tail estimates.
+_SHARD_LATENCY_WINDOW = 2048
+
 
 @dataclass(frozen=True)
 class LatencySummary:
@@ -58,13 +62,28 @@ def latency_percentiles(samples) -> LatencySummary:
     )
 
 
+class _ShardStats:
+    """Per-shard accumulator (occupancy, volume, latency tail samples)."""
+
+    __slots__ = ("requests", "errors", "forwards", "latencies")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.forwards = 0
+        self.latencies: deque[float] = deque(maxlen=_SHARD_LATENCY_WINDOW)
+
+
 class ServingStats:
     """Thread-safe accumulator for the service's operational metrics.
 
     The service calls :meth:`record_response` once per resolved request
-    and :meth:`record_batch` once per executed micro-batch;
-    :meth:`snapshot` renders everything into one flat dict for reports and
-    benchmark JSON.
+    (tagging the shard that executed it, when one did) and
+    :meth:`record_batch` once per executed micro-batch;
+    :meth:`record_shard` accounts each coalesced per-shard forward.
+    :meth:`snapshot` renders the service-wide view into one flat dict for
+    reports and benchmark JSON; :meth:`shard_snapshot` renders the
+    per-shard breakdown that makes a sharded executor observable.
     """
 
     def __init__(self) -> None:
@@ -77,9 +96,22 @@ class ServingStats:
         self.batched_requests = 0
         self.model_forwards = 0
         self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self._shards: dict[int, _ShardStats] = {}
 
-    def record_response(self, latency_s: float, cache_hit: bool, error: bool = False) -> None:
-        """Account one resolved request."""
+    def _shard(self, shard: int) -> _ShardStats:
+        stats = self._shards.get(shard)
+        if stats is None:
+            stats = self._shards[shard] = _ShardStats()
+        return stats
+
+    def record_response(
+        self,
+        latency_s: float,
+        cache_hit: bool,
+        error: bool = False,
+        shard: int | None = None,
+    ) -> None:
+        """Account one resolved request (``shard`` = executing shard)."""
         with self._lock:
             self.requests += 1
             if cache_hit:
@@ -87,6 +119,12 @@ class ServingStats:
             if error:
                 self.errors += 1
             self._latencies.append(latency_s)
+            if shard is not None:
+                stats = self._shard(shard)
+                stats.requests += 1
+                if error:
+                    stats.errors += 1
+                stats.latencies.append(latency_s)
 
     def record_batch(self, size: int, forwards: int = 1) -> None:
         """Account one executed micro-batch of ``size`` coalesced requests
@@ -95,6 +133,53 @@ class ServingStats:
             self.batches += 1
             self.batched_requests += size
             self.model_forwards += forwards
+
+    def record_shard(self, shard: int, forwards: int = 1) -> None:
+        """Account the forward passes one of ``shard``'s coalesced
+        commands cost (per-shard request counts come from
+        :meth:`record_response`)."""
+        with self._lock:
+            stats = self._shard(shard)
+            stats.forwards += forwards
+
+    @staticmethod
+    def empty_shard_entry() -> dict[str, float]:
+        """A zeroed per-shard entry (shards that saw no traffic yet)."""
+        return {
+            "requests": 0.0,
+            "errors": 0.0,
+            "forwards": 0.0,
+            "requests_per_forward": 0.0,
+            "latency_p50_s": 0.0,
+            "latency_p99_s": 0.0,
+            "latency_max_s": 0.0,
+        }
+
+    def shard_snapshot(self) -> dict[str, dict[str, float]]:
+        """Per-shard metrics: volume, occupancy, and latency tails.
+
+        Keys are shard ids as strings (JSON-friendly); each value holds
+        ``requests``, ``errors``, ``forwards``, ``requests_per_forward``
+        (per-shard coalescing occupancy), and
+        ``latency_{p50,p99,max}_s``.
+        """
+        with self._lock:
+            out: dict[str, dict[str, float]] = {}
+            for shard in sorted(self._shards):
+                stats = self._shards[shard]
+                latency = latency_percentiles(stats.latencies)
+                out[str(shard)] = {
+                    "requests": float(stats.requests),
+                    "errors": float(stats.errors),
+                    "forwards": float(stats.forwards),
+                    "requests_per_forward": (
+                        stats.requests / stats.forwards if stats.forwards else 0.0
+                    ),
+                    "latency_p50_s": latency.p50,
+                    "latency_p99_s": latency.p99,
+                    "latency_max_s": latency.max,
+                }
+            return out
 
     def snapshot(self) -> dict[str, float]:
         """Current metrics as a flat dict.

@@ -8,7 +8,14 @@ from .config import (
     TrainConfig,
 )
 from .model import LearnedPerformanceModel
-from .serialize import load_model, load_model_bytes, save_model, save_model_bytes
+from .serialize import (
+    ModelBlobError,
+    load_model,
+    load_model_bytes,
+    save_model,
+    save_model_bytes,
+    validate_model_blob,
+)
 from .trainer import (
     TrainResult,
     fine_tune,
@@ -24,6 +31,7 @@ __all__ = [
     "PLACEMENT_CHOICES",
     "REDUCTION_CHOICES",
     "LearnedPerformanceModel",
+    "ModelBlobError",
     "ModelConfig",
     "TrainConfig",
     "TrainResult",
@@ -36,4 +44,5 @@ __all__ = [
     "save_model_bytes",
     "train_fusion_model",
     "train_tile_model",
+    "validate_model_blob",
 ]

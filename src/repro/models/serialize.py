@@ -8,14 +8,24 @@ targets (the model is trained offline and queried at compile time).
 Two transports share one format: :func:`save_model` / :func:`load_model`
 write and read files, :func:`save_model_bytes` / :func:`load_model_bytes`
 round-trip the same archive through memory. The in-memory form is what the
-serving layer's model registry uses to hold versioned checkpoints and
-hot-swap them without touching disk.
+serving layer's model registry uses to hold versioned checkpoints,
+hot-swap them, spill them to disk, and ship them to worker processes and
+remote nodes.
+
+Because checkpoint blobs cross sockets, pipes and disk, the bytes form
+carries an integrity envelope: a magic tag, the payload length, and a
+SHA-256 digest. :func:`load_model_bytes` (and :func:`validate_model_blob`)
+detect truncated or corrupted blobs up front and raise the typed
+:class:`ModelBlobError` instead of failing deep inside npz deserialization.
+Bare npz blobs from before the envelope still load.
 """
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import io
 import json
+import struct
 from pathlib import Path
 
 import numpy as np
@@ -25,6 +35,67 @@ from ..data.features import FeatureScaler
 from .config import ModelConfig
 from .model import LearnedPerformanceModel
 from .trainer import TrainResult
+
+
+#: Envelope tag of a checkpoint blob; the trailing byte is a format version.
+BLOB_MAGIC = b"RPRMDL\x01"
+
+#: Envelope layout after the magic: payload length (u64 BE) + SHA-256 digest.
+_BLOB_HEADER = struct.Struct(">Q32s")
+
+
+class ModelBlobError(ValueError):
+    """Checkpoint bytes are not a valid model blob.
+
+    Raised on a missing/unknown envelope, a truncated payload, a checksum
+    mismatch, or an archive that fails to decode — the typed failure a
+    registry, socket peer, or disk loader can catch without knowing npz
+    internals.
+    """
+
+
+def _seal_blob(payload: bytes) -> bytes:
+    """Wrap npz payload bytes in the magic + length + digest envelope."""
+    digest = hashlib.sha256(payload).digest()
+    return BLOB_MAGIC + _BLOB_HEADER.pack(len(payload), digest) + payload
+
+
+def _unseal_blob(data: bytes) -> bytes:
+    """Validate the envelope and return the npz payload.
+
+    Accepts legacy bare npz bytes (``PK`` zip magic) unchecked, for blobs
+    produced before the envelope existed.
+    """
+    if data[: len(BLOB_MAGIC)] == BLOB_MAGIC:
+        offset = len(BLOB_MAGIC)
+        if len(data) < offset + _BLOB_HEADER.size:
+            raise ModelBlobError(
+                f"truncated model blob: {len(data)} bytes is shorter than the envelope"
+            )
+        length, digest = _BLOB_HEADER.unpack_from(data, offset)
+        payload = data[offset + _BLOB_HEADER.size:]
+        if len(payload) != length:
+            raise ModelBlobError(
+                f"truncated model blob: envelope declares {length} payload bytes, "
+                f"got {len(payload)}"
+            )
+        if hashlib.sha256(payload).digest() != digest:
+            raise ModelBlobError("corrupt model blob: SHA-256 checksum mismatch")
+        return payload
+    if data[:2] == b"PK":  # legacy bare npz archive
+        return data
+    raise ModelBlobError(
+        "not a model blob: missing checkpoint envelope and npz magic"
+    )
+
+
+def validate_model_blob(data: bytes) -> None:
+    """Check blob integrity (envelope, length, checksum) without decoding.
+
+    Raises:
+        ModelBlobError: if the bytes cannot possibly hold a checkpoint.
+    """
+    _unseal_blob(bytes(data))
 
 
 def _payload(result: TrainResult) -> dict[str, np.ndarray]:
@@ -88,18 +159,38 @@ def load_model(path: str | Path) -> TrainResult:
     Raises:
         KeyError: if the archive is missing required entries.
     """
-    with np.load(Path(path)) as archive:
+    path = Path(path)
+    with path.open("rb") as handle:
+        head = handle.read(len(BLOB_MAGIC))
+    if head == BLOB_MAGIC:
+        # A spilled checkpoint blob (envelope form) written straight to disk.
+        return load_model_bytes(path.read_bytes())
+    with np.load(path) as archive:
         return _from_archive(archive)
 
 
 def save_model_bytes(result: TrainResult) -> bytes:
-    """Serialize a trained model + scalers to npz bytes (no disk I/O)."""
+    """Serialize a trained model + scalers to checkpoint bytes (no disk I/O).
+
+    The bytes are an npz archive sealed in the integrity envelope
+    (:data:`BLOB_MAGIC` + length + SHA-256), so truncation or corruption in
+    transit is caught at load time instead of surfacing as an opaque npz
+    decode failure.
+    """
     buffer = io.BytesIO()
     np.savez_compressed(buffer, **_payload(result))
-    return buffer.getvalue()
+    return _seal_blob(buffer.getvalue())
 
 
 def load_model_bytes(data: bytes) -> TrainResult:
-    """Load a model serialized by :func:`save_model_bytes`."""
-    with np.load(io.BytesIO(data)) as archive:
-        return _from_archive(archive)
+    """Load a model serialized by :func:`save_model_bytes`.
+
+    Raises:
+        ModelBlobError: on truncated, corrupted, or undecodable bytes.
+    """
+    payload = _unseal_blob(bytes(data))
+    try:
+        with np.load(io.BytesIO(payload)) as archive:
+            return _from_archive(archive)
+    except Exception as exc:
+        raise ModelBlobError(f"undecodable model blob: {exc}") from exc

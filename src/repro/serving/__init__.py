@@ -1,32 +1,72 @@
-"""Cost-model serving layer (in-process-first).
+"""Cost-model serving stack: transport / scheduling / execution layers.
 
 The paper's deployment mode — a performance model trained offline and
-queried at compile time — becomes a service boundary here: a versioned
-model registry, a micro-batching scheduler that coalesces queries from
-many concurrent clients into shared forward passes, a fingerprint-sharded
-replica pool with a shared result cache, and a client
-(:class:`ServiceEvaluator`) that speaks the existing evaluator protocol so
-the autotuners run against the service unchanged.
+queried at compile time — becomes a three-layer service boundary here:
+
+* **transport frontends** (:class:`InProcessFrontend`,
+  :class:`SocketFrontend`) own request ingress; both feed the same
+  scheduler, so in-process and remote traffic coalesce into shared
+  micro-batches;
+* the **scheduler core** (:class:`CostModelService`) owns micro-batching,
+  per-batch checkpoint-version snapshots over a versioned
+  :class:`ModelRegistry` (with disk spill/load), the shared
+  version-scoped result cache, and serving stats;
+* **execution backends** (:class:`InThreadExecutor`,
+  :class:`ProcessShardExecutor`) own where the coalesced forwards run —
+  in-process fingerprint-sharded replicas, or per-shard worker
+  subprocesses with true parallel forwards and checkpoint shipping.
+
+Clients (:class:`ServiceEvaluator` in-process, :class:`SocketEvaluator`
+remote) speak the existing evaluator protocol, so the autotuners run
+against the service unchanged.
 """
-from .client import ServiceEvaluator
+from .client import EvaluatorClient, ServiceEvaluator, SocketEvaluator
+from .executors import (
+    CommandResult,
+    Executor,
+    InThreadExecutor,
+    ProcessShardExecutor,
+    ProgramCommand,
+    TileCommand,
+    WorkerDiedError,
+)
+from .frontend import Frontend, InProcessFrontend, SocketFrontend
 from .protocol import (
+    NEED_KERNEL_PREFIX,
     KernelRuntimeRequest,
     ProgramRuntimesRequest,
     Request,
     Response,
     TileScoresRequest,
+    UnknownKernelError,
+    WireError,
+    decode_request,
+    encode_request,
+    kernel_interner,
+    recv_frame,
+    send_frame,
 )
 from .registry import ModelRegistry
-from .replica import ReplicaPool, ResultCache
+from .replica import ReplicaPool, ResultCache, shard_of
 from .scheduler import MicroBatcher, PendingRequest
-from .service import CostModelService, ServiceConfig
+from .service import EXECUTOR_CHOICES, CostModelService, ServiceConfig
 
 __all__ = [
+    "EXECUTOR_CHOICES",
+    "NEED_KERNEL_PREFIX",
+    "CommandResult",
     "CostModelService",
+    "EvaluatorClient",
+    "Executor",
+    "Frontend",
+    "InProcessFrontend",
+    "InThreadExecutor",
     "KernelRuntimeRequest",
     "MicroBatcher",
     "ModelRegistry",
     "PendingRequest",
+    "ProcessShardExecutor",
+    "ProgramCommand",
     "ProgramRuntimesRequest",
     "ReplicaPool",
     "Request",
@@ -34,5 +74,17 @@ __all__ = [
     "ResultCache",
     "ServiceConfig",
     "ServiceEvaluator",
+    "SocketEvaluator",
+    "SocketFrontend",
+    "TileCommand",
     "TileScoresRequest",
+    "UnknownKernelError",
+    "WireError",
+    "WorkerDiedError",
+    "decode_request",
+    "encode_request",
+    "kernel_interner",
+    "recv_frame",
+    "send_frame",
+    "shard_of",
 ]

@@ -1,39 +1,50 @@
-"""Service-backed evaluator: the existing evaluator interface, served.
+"""Clients: the existing evaluator interface, served over any transport.
 
-``ServiceEvaluator`` speaks the same protocol as
-:class:`~repro.autotuner.LearnedEvaluator` (it satisfies both
+Both clients speak the same protocol as
+:class:`~repro.autotuner.LearnedEvaluator` (they satisfy
 :class:`~repro.autotuner.TileScorer` and
 :class:`~repro.autotuner.ProgramCostModel`), so ``model_tile_autotune``
-and ``model_fusion_autotune`` run against the shared service unchanged —
-point N tuner threads at one service and their queries coalesce into the
-same micro-batches.
+and ``model_fusion_autotune`` run against a shared service unchanged —
+point N tuner threads or processes at one service and their queries
+coalesce into the same micro-batches.
 
-Against a service without a worker thread the client pumps the queue
-itself (submit, :meth:`CostModelService.flush`, wait) — fully synchronous
-and deterministic, which is also how the equivalence tests drive it.
+* :class:`ServiceEvaluator` — the in-process path: submits straight into
+  the service's scheduler. Against a service without a worker thread it
+  pumps the queue itself (submit, :meth:`CostModelService.flush`, wait) —
+  fully synchronous and deterministic, which is also how the equivalence
+  tests drive it.
+* :class:`SocketEvaluator` — the remote path: the same facade over a TCP
+  connection to a :class:`~repro.serving.frontend.SocketFrontend`, so a
+  tuner in another process or on another machine shares the same warm
+  model. Served values cross the wire as raw dtype-tagged bytes and are
+  bitwise-identical to in-process responses at equal batch shape.
 """
 from __future__ import annotations
+
+import itertools
+import socket
 
 import numpy as np
 
 from ..compiler.kernels import Kernel
 from ..compiler.tiling import TileConfig
 from .protocol import (
+    NEED_KERNEL_PREFIX,
     KernelRuntimeRequest,
     ProgramRuntimesRequest,
     Request,
     Response,
     TileScoresRequest,
+    WireError,
+    encode_request,
+    recv_frame,
+    send_frame,
 )
 from .service import CostModelService
 
 
-class ServiceEvaluator:
-    """Evaluator facade over a :class:`CostModelService`.
-
-    Args:
-        service: the service to query (shared across clients).
-        timeout_s: max seconds to wait for any one response.
+class EvaluatorClient:
+    """Shared evaluator facade; transports implement :meth:`_call`.
 
     Attributes:
         last_response: the most recent :class:`Response` (version stamp,
@@ -41,23 +52,15 @@ class ServiceEvaluator:
             which checkpoint priced its query.
     """
 
-    def __init__(self, service: CostModelService, timeout_s: float = 60.0) -> None:
-        self.service = service
-        self.timeout_s = timeout_s
-        self.last_response: Response | None = None
+    last_response: Response | None = None
+
+    def _call(self, request: Request) -> Response:
+        raise NotImplementedError
 
     @property
     def model_version(self) -> str | None:
         """Version that served the most recent request (None before any)."""
         return self.last_response.model_version if self.last_response else None
-
-    def _call(self, request: Request) -> Response:
-        future = self.service.submit(request)
-        if not self.service.is_running:
-            self.service.flush()
-        response: Response = future.result(timeout=self.timeout_s)
-        self.last_response = response
-        return response
 
     def tile_scores(self, kernel: Kernel, tiles: list[TileConfig]) -> np.ndarray:
         """Rank scores for candidate tiles of one kernel (lower = faster)."""
@@ -91,3 +94,93 @@ class ServiceEvaluator:
             ProgramRuntimesRequest(programs=tuple(tuple(p) for p in programs))
         )
         return np.asarray(response.unwrap())
+
+
+class ServiceEvaluator(EvaluatorClient):
+    """Evaluator facade over an in-process :class:`CostModelService`.
+
+    Args:
+        service: the service to query (shared across clients).
+        timeout_s: max seconds to wait for any one response.
+    """
+
+    def __init__(self, service: CostModelService, timeout_s: float = 60.0) -> None:
+        self.service = service
+        self.timeout_s = timeout_s
+        self.last_response = None
+
+    def _call(self, request: Request) -> Response:
+        future = self.service.submit(request)
+        if not self.service.is_running:
+            self.service.flush()
+        response: Response = future.result(timeout=self.timeout_s)
+        self.last_response = response
+        return response
+
+
+class SocketEvaluator(EvaluatorClient):
+    """Evaluator facade over a TCP connection to a socket frontend.
+
+    Args:
+        address: ``(host, port)`` of a listening
+            :class:`~repro.serving.frontend.SocketFrontend`.
+        timeout_s: socket timeout for connect and per-response waits.
+
+    One request is in flight per client at a time (the facade is
+    synchronous); concurrency comes from many clients — each tuner
+    thread/process owns its own connection, and the frontend funnels them
+    all into the shared micro-batcher. Use as a context manager, or call
+    :meth:`close`.
+
+    Each kernel's graph is shipped once per connection; afterwards the
+    client sends fingerprint-only references, and a server that evicted a
+    kernel answers ``need_kernel`` to trigger a full resend — repeat
+    queries for a warm kernel set pay almost no serialization.
+    """
+
+    def __init__(self, address: tuple[str, int], timeout_s: float = 60.0) -> None:
+        self.address = (address[0], int(address[1]))
+        self.timeout_s = timeout_s
+        self.last_response = None
+        self._ids = itertools.count(1)
+        self._known: set[str] = set()
+        self._sock = socket.create_connection(self.address, timeout=timeout_s)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def _roundtrip(self, body: bytes) -> Response:
+        request_id = next(self._ids)
+        send_frame(self._sock, request_id, body)
+        while True:
+            frame = recv_frame(self._sock)
+            if frame is None:
+                raise WireError("server closed the connection mid-request")
+            reply_id, reply_body = frame
+            if reply_id != request_id:
+                continue  # stale reply from an abandoned request
+            return Response.from_bytes(reply_body)
+
+    def _call(self, request: Request) -> Response:
+        response = self._roundtrip(encode_request(request, known=self._known))
+        if response.error is not None and response.error.startswith(
+            NEED_KERNEL_PREFIX
+        ):
+            # The server evicted a referenced kernel: resend in full.
+            self._known.difference_update(request.fingerprints())
+            response = self._roundtrip(encode_request(request, known=None))
+        if response.error is None:
+            self._known.update(request.fingerprints())
+        self.last_response = response
+        return response
+
+    def close(self) -> None:
+        """Close the connection; idempotent."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "SocketEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

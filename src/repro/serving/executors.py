@@ -1,0 +1,663 @@
+"""Execution backends: where a micro-batch's model forwards actually run.
+
+The scheduler core (:class:`~repro.serving.service.CostModelService`)
+reduces each micro-batch to a list of shard-annotated *commands* — one
+coalesced forward each — and hands them to an :class:`Executor`. Two
+placements implement the interface:
+
+* :class:`InThreadExecutor` — today's behaviour and the default: a
+  fingerprint-sharded :class:`~repro.serving.replica.ReplicaPool` in the
+  service's own process, commands executed sequentially on the worker
+  thread. Zero IPC cost; forwards serialize on the GIL.
+* :class:`ProcessShardExecutor` — each fingerprint-shard lives in its own
+  worker subprocess fed over a pipe. Commands for different shards run
+  truly in parallel (no GIL contention); checkpoints ship to workers as
+  the registry's blob bytes, and a worker that dies is respawned and
+  resynced to the in-flight version before it serves anything.
+
+Both backends route by the same stable digest-slice shard function, so a
+request lands on the same shard regardless of placement — what makes the
+two backends interchangeable (and bitwise-identical at equal batch
+shape).
+"""
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import traceback
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..compiler.kernels import Kernel
+from ..compiler.tiling import TileConfig
+from .protocol import lru_touch
+from .registry import ModelRegistry
+from .replica import ReplicaPool, shard_of
+from .workers import shard_worker
+
+
+@dataclass(frozen=True)
+class TileCommand:
+    """One coalesced tile-scoring forward: all tiles of one kernel."""
+
+    shard: int
+    kernel: Kernel
+    tiles: tuple[TileConfig, ...]
+
+
+@dataclass(frozen=True)
+class ProgramCommand:
+    """One coalesced program-pricing forward over many kernel tuples."""
+
+    shard: int
+    programs: tuple[tuple[Kernel, ...], ...]
+
+
+Command = TileCommand | ProgramCommand
+
+
+@dataclass
+class CommandResult:
+    """Outcome of one command: a score array, or a traceback string.
+
+    ``forwards`` is the number of model forward passes this result cost —
+    0 for commands that rode along in another command's fused forward.
+    """
+
+    value: np.ndarray | None = None
+    error: str | None = None
+    forwards: int = 1
+
+
+class Executor(ABC):
+    """Placement-agnostic execution backend for coalesced forwards."""
+
+    #: Number of fingerprint shards (routing targets) this backend runs.
+    num_shards: int = 1
+
+    def shard_for(self, shard_key: str) -> int:
+        """The shard owning ``shard_key`` (stable digest-slice routing)."""
+        return shard_of(shard_key, self.num_shards)
+
+    @abstractmethod
+    def run(self, version: str, commands: list[Command]) -> list[CommandResult]:
+        """Execute ``commands`` against checkpoint ``version``.
+
+        Returns one :class:`CommandResult` per command, in order. A
+        command failure lands in its result's ``error``; only a failure
+        of the backend itself (e.g. an unknown version) may raise.
+        """
+
+    @abstractmethod
+    def stats(self) -> dict:
+        """Aggregated evaluator cache counters across shards."""
+
+    def shard_stats(self) -> list[dict]:
+        """Per-shard placement/liveness details (may be empty)."""
+        return []
+
+    def close(self) -> None:
+        """Release backend resources; idempotent."""
+
+
+class InThreadExecutor(Executor):
+    """Replica-pool backend in the service's own process (the default).
+
+    Args:
+        registry: source of checkpoints (the service shares its own).
+        replicas: shard count — evaluator replicas in the pool.
+        max_cached_kernels: per-shard precompute/feature memo bound.
+        share_kernel_cache: one precompute cache for all replicas.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        replicas: int = 1,
+        max_cached_kernels: int = 1024,
+        share_kernel_cache: bool = True,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.registry = registry
+        self.num_shards = replicas
+        self.max_cached_kernels = max_cached_kernels
+        self.share_kernel_cache = share_kernel_cache
+        self._pool: ReplicaPool | None = None
+
+    def _pool_for(self, version: str) -> ReplicaPool:
+        if self._pool is None or self._pool.version != version:
+            self._pool = ReplicaPool(
+                self.registry.get(version),
+                version,
+                replicas=self.num_shards,
+                max_cached_kernels=self.max_cached_kernels,
+                share_kernel_cache=self.share_kernel_cache,
+            )
+        return self._pool
+
+    def run(self, version: str, commands: list[Command]) -> list[CommandResult]:
+        pool = self._pool_for(version)
+        results: list[CommandResult] = []
+        for command in commands:
+            evaluator = pool.replicas[command.shard]
+            try:
+                if isinstance(command, TileCommand):
+                    value = evaluator.score_tiles_batched(
+                        command.kernel, list(command.tiles)
+                    )
+                else:
+                    value = evaluator.program_runtimes_batched(
+                        [list(kernels) for kernels in command.programs]
+                    )
+                results.append(CommandResult(value=np.asarray(value)))
+            except Exception:
+                results.append(CommandResult(error=traceback.format_exc()))
+        return results
+
+    def stats(self) -> dict:
+        if self._pool is None:
+            return {}
+        return self._pool.stats()
+
+    def shard_stats(self) -> list[dict]:
+        return [
+            {"shard": i, "placement": "thread", "alive": True,
+             "version": self._pool.version if self._pool else None}
+            for i in range(self.num_shards)
+        ]
+
+
+@dataclass
+class _Shard:
+    """Parent-side state of one worker subprocess."""
+
+    index: int
+    process: object = None
+    conn: object = None
+    version: str | None = None
+    restarts: int = 0
+    commands: int = 0
+    #: Fingerprints the worker currently interns — steady-state requests
+    #: for these ship without the (re-pickled) kernel graph attached.
+    known: OrderedDict = field(default_factory=OrderedDict)
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class WorkerDiedError(RuntimeError):
+    """A shard worker was unreachable even after a respawn."""
+
+
+#: Pipe/worker failures that trigger a respawn + resync + retry.
+_PIPE_ERRORS = (WorkerDiedError, EOFError, BrokenPipeError, OSError)
+
+
+class ProcessShardExecutor(Executor):
+    """Fingerprint shards in worker subprocesses — parallel forwards.
+
+    Args:
+        registry: source of checkpoint blobs shipped to workers.
+        shards: worker process count.
+        max_cached_kernels: per-worker evaluator cache / interning bound.
+        start_method: ``multiprocessing`` start method. ``spawn`` (the
+            default) is safe alongside the service's threads; ``fork`` is
+            faster to boot but inherits the parent's thread state.
+        request_timeout_s: per-message reply deadline before a worker is
+            declared dead and respawned.
+
+    Workers are lazy: nothing is spawned until the first :meth:`run`, so
+    constructing a service with this backend is cheap. Version sync is
+    per-run: :meth:`run` ships the target version's blob to any shard not
+    already on it (including a freshly respawned one) *before* that shard
+    executes a command — the cross-process half of the hot-swap atomicity
+    guarantee.
+
+    Dispatch is two-phase per batch: every involved shard's whole slice
+    is written to its pipe first (workers start computing immediately, in
+    parallel), then replies are collected. A shard's tile commands are
+    *fused* into one multi-kernel forward (``tile_batch``) — one pipe
+    round trip and one forward per shard per batch, which is what
+    amortizes the process boundary. Fusing changes the forward's batch
+    shape, which moves scores only at float32 BLAS rounding level (the
+    same trade micro-batch coalescing already makes); a batch holding a
+    single tile command keeps its exact in-thread batch shape and stays
+    bitwise-identical. Messages and replies are small relative to the
+    pipe buffer, so the unacknowledged sends cannot deadlock.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        shards: int = 2,
+        max_cached_kernels: int = 1024,
+        start_method: str = "spawn",
+        request_timeout_s: float = 120.0,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.registry = registry
+        self.num_shards = shards
+        self.max_cached_kernels = max_cached_kernels
+        self.request_timeout_s = request_timeout_s
+        self._ctx = multiprocessing.get_context(start_method)
+        self._shards = [_Shard(index=i) for i in range(shards)]
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # worker lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _spawn_locked(self, shard: _Shard) -> None:
+        """(Re)start ``shard``'s worker; caller holds ``shard.lock``."""
+        if shard.process is not None:
+            shard.restarts += 1
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+            if shard.process.is_alive():
+                shard.process.terminate()
+            shard.process.join(timeout=5)
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=shard_worker,
+            args=(child_conn, self.max_cached_kernels),
+            name=f"cost-model-shard-{shard.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        shard.process = process
+        shard.conn = parent_conn
+        shard.version = None
+        shard.known.clear()
+
+    def _recv_locked(self, shard: _Shard):
+        """Await one reply; raises on a dead or hung worker."""
+        if not shard.conn.poll(self.request_timeout_s):
+            raise WorkerDiedError(
+                f"shard {shard.index} worker did not reply within "
+                f"{self.request_timeout_s}s"
+            )
+        return shard.conn.recv()
+
+    def _invalidate_locked(self, shard: _Shard) -> None:
+        """Declare ``shard``'s pipe stream unusable after any failure.
+
+        Terminating the process (even if it is merely slow, not dead)
+        is what keeps the protocol in sync: a late reply from an
+        abandoned command must never be mistaken for the ack of a later
+        message, so the next :meth:`_sync_locked` always starts from a
+        fresh process and a fresh pipe.
+        """
+        shard.version = None
+        if shard.process is not None and shard.process.is_alive():
+            shard.process.terminate()
+            shard.process.join(timeout=5)
+
+    def _request_locked(self, shard: _Shard, message: tuple):
+        """One send/recv round trip; raises on a dead or hung worker."""
+        shard.conn.send(message)
+        return self._recv_locked(shard)
+
+    def _sync_locked(self, shard: _Shard, version: str) -> None:
+        """Bring ``shard`` onto ``version``, respawning if needed."""
+        alive = shard.process is not None and shard.process.is_alive()
+        if alive and shard.version == version:
+            return
+        if not alive:
+            self._spawn_locked(shard)
+        blob = self.registry.blob(version)
+        reply = self._request_locked(shard, ("load", version, blob))
+        if reply[0] != "ok":
+            raise WorkerDiedError(
+                f"shard {shard.index} failed to load {version}: {reply[1]}"
+            )
+        shard.version = version
+
+    def _remember_known_locked(self, shard: _Shard, fingerprint: str) -> None:
+        lru_touch(shard.known, fingerprint, True, self.max_cached_kernels)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _tile_entry(command: TileCommand, shard: _Shard, force: bool) -> tuple:
+        """Wire entry for one tile command: dims cross the pipe, not
+        TileConfig objects (cheaper to pickle); the kernel rides along
+        only when the worker has not interned it."""
+        fingerprint = command.kernel.fingerprint()
+        payload = (
+            command.kernel
+            if force or fingerprint not in shard.known
+            else None
+        )
+        return (fingerprint, payload, [t.dims for t in command.tiles])
+
+    @staticmethod
+    def _program_entries(command: ProgramCommand, shard: _Shard, force: bool):
+        """Wire entries for one program command: every kernel crosses as
+        ``(fingerprint, kernel_or_None)``, interned like tile kernels —
+        fusion-tuner populations re-price the same kernels constantly."""
+        return tuple(
+            tuple(
+                (
+                    k.fingerprint(),
+                    k
+                    if force or k.fingerprint() not in shard.known
+                    else None,
+                )
+                for k in kernels
+            )
+            for kernels in command.programs
+        )
+
+    def _remember_program_locked(self, shard: _Shard, command: ProgramCommand) -> None:
+        for kernels in command.programs:
+            for kernel in kernels:
+                self._remember_known_locked(shard, kernel.fingerprint())
+
+    def _forget_locked(self, shard: _Shard, fingerprints) -> None:
+        for fingerprint in fingerprints:
+            shard.known.pop(fingerprint, None)
+
+    def _execute_one_locked(self, shard: _Shard, command: Command):
+        """Round-trip one command; returns the worker's reply tuple."""
+        if isinstance(command, TileCommand):
+            shard.conn.send(("tiles",) + self._tile_entry(command, shard, False))
+            reply = self._recv_locked(shard)
+            if reply[0] == "miss":
+                # The worker evicted this kernel from its interning map;
+                # retry with the kernel attached.
+                shard.known.pop(command.kernel.fingerprint(), None)
+                shard.conn.send(
+                    ("tiles",) + self._tile_entry(command, shard, True)
+                )
+                reply = self._recv_locked(shard)
+            if reply[0] == "ok":
+                self._remember_known_locked(shard, command.kernel.fingerprint())
+            return reply
+        shard.conn.send(("programs", self._program_entries(command, shard, False)))
+        reply = self._recv_locked(shard)
+        if reply[0] == "miss":
+            self._forget_locked(shard, reply[1])
+            shard.conn.send(
+                ("programs", self._program_entries(command, shard, True))
+            )
+            reply = self._recv_locked(shard)
+        if reply[0] == "ok":
+            self._remember_program_locked(shard, command)
+        return reply
+
+    def _send_batch_locked(self, shard: _Shard, items) -> tuple:
+        """Phase A: write a shard's whole batch slice to its pipe.
+
+        Tile commands fuse into one ``tile_batch`` message (one forward,
+        one round trip); program commands follow individually and are
+        answered in order. Nothing is awaited here, so every involved
+        shard's worker starts computing before any reply is read.
+        """
+        tile_items = [(i, c) for i, c in items if isinstance(c, TileCommand)]
+        program_items = [
+            (i, c) for i, c in items if isinstance(c, ProgramCommand)
+        ]
+        if tile_items:
+            shard.conn.send(
+                (
+                    "tile_batch",
+                    [self._tile_entry(c, shard, False) for _, c in tile_items],
+                )
+            )
+        for _, command in program_items:
+            shard.conn.send(
+                ("programs", self._program_entries(command, shard, False))
+            )
+        return tile_items, program_items
+
+    def _resolve_tile_batch_locked(
+        self,
+        shard: _Shard,
+        tile_items,
+        reply,
+        results: list[CommandResult | None],
+    ) -> None:
+        """Fan a fused tile_batch reply back out to per-command results."""
+        if reply[0] == "ok":
+            for position, ((index, command), value) in enumerate(
+                zip(tile_items, reply[1])
+            ):
+                self._remember_known_locked(shard, command.kernel.fingerprint())
+                results[index] = CommandResult(
+                    value=value, forwards=1 if position == 0 else 0
+                )
+                shard.commands += 1
+        else:
+            message = (
+                str(reply[1])
+                if reply[0] == "err"
+                else f"kernel interning retry failed: {reply[1]!r}"
+            )
+            for index, _ in tile_items:
+                results[index] = CommandResult(error=message)
+                shard.commands += 1
+
+    def _resolve_program_locked(
+        self,
+        shard: _Shard,
+        index: int,
+        command: ProgramCommand,
+        reply,
+        results: list[CommandResult | None],
+    ) -> None:
+        shard.commands += 1
+        if reply[0] == "ok":
+            self._remember_program_locked(shard, command)
+            results[index] = CommandResult(value=reply[1])
+        else:
+            message = (
+                str(reply[1])
+                if reply[0] == "err"
+                else f"kernel interning retry failed: {reply[1]!r}"
+            )
+            results[index] = CommandResult(error=message)
+
+    def _recv_batch_locked(
+        self,
+        shard: _Shard,
+        plan: tuple,
+        results: list[CommandResult | None],
+    ) -> None:
+        """Phase B: collect one shard's replies (send order == reply order).
+
+        Interning misses are retried only *after* every phase-A reply is
+        drained: the worker is a FIFO loop, so a retry enqueued earlier
+        would interleave with — and desync — the remaining phase-A
+        replies.
+        """
+        tile_items, program_items = plan
+        tile_reply = self._recv_locked(shard) if tile_items else None
+        deferred: list[tuple[int, ProgramCommand]] = []
+        for index, command in program_items:
+            reply = self._recv_locked(shard)
+            if reply[0] == "miss":
+                self._forget_locked(shard, reply[1])
+                deferred.append((index, command))
+                continue
+            self._resolve_program_locked(shard, index, command, reply, results)
+        retry_tiles = tile_items and tile_reply[0] == "miss"
+        if retry_tiles:
+            # The worker evicted some referenced kernels: resend the whole
+            # fused batch with every kernel attached.
+            self._forget_locked(shard, tile_reply[1])
+            shard.conn.send(
+                (
+                    "tile_batch",
+                    [self._tile_entry(c, shard, True) for _, c in tile_items],
+                )
+            )
+        for index, command in deferred:
+            shard.conn.send(
+                ("programs", self._program_entries(command, shard, True))
+            )
+        if retry_tiles:
+            tile_reply = self._recv_locked(shard)
+        if tile_items:
+            self._resolve_tile_batch_locked(shard, tile_items, tile_reply, results)
+        for index, command in deferred:
+            reply = self._recv_locked(shard)
+            self._resolve_program_locked(shard, index, command, reply, results)
+
+    def _fallback_locked(
+        self,
+        shard: _Shard,
+        version: str,
+        items,
+        results: list[CommandResult | None],
+    ) -> None:
+        """Second attempt, one command at a time on a fresh worker.
+
+        Entered after a pipe failure: the worker died (or was killed)
+        mid-flight. Each retry resyncs the respawned worker to `version`
+        first, so a killed worker can never come back serving a stale
+        checkpoint.
+        """
+        for position, (index, command) in enumerate(items):
+            if results[index] is not None:
+                continue  # completed before the pipe broke
+            try:
+                self._sync_locked(shard, version)
+                reply = self._execute_one_locked(shard, command)
+                shard.commands += 1
+                if reply[0] == "ok":
+                    results[index] = CommandResult(value=reply[1])
+                else:
+                    results[index] = CommandResult(error=str(reply[1]))
+            except _PIPE_ERRORS:
+                self._invalidate_locked(shard)
+                message = (
+                    f"shard {shard.index} worker died twice on one "
+                    f"batch:\n{traceback.format_exc()}"
+                )
+                for remaining_index, _ in items[position:]:
+                    if results[remaining_index] is None:
+                        results[remaining_index] = CommandResult(error=message)
+                return
+
+    def run(self, version: str, commands: list[Command]) -> list[CommandResult]:
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        per_shard: dict[int, list[tuple[int, Command]]] = {}
+        for index, command in enumerate(commands):
+            per_shard.setdefault(command.shard, []).append((index, command))
+        results: list[CommandResult | None] = [None] * len(commands)
+        # Two-phase dispatch on the caller's thread: send every shard its
+        # whole slice first (workers start computing immediately, in
+        # parallel), then collect replies shard by shard. No dispatcher
+        # threads, no cross-thread signaling — the caller only blocks on
+        # pipe IO, with the GIL released, while workers compute.
+        # Locks are taken in shard order (deadlock-free vs. stats()).
+        ordered = sorted(per_shard)
+        acquired: list[_Shard] = []
+        try:
+            for shard_index in ordered:
+                shard = self._shards[shard_index]
+                shard.lock.acquire()
+                acquired.append(shard)
+            plans: dict[int, tuple | None] = {}
+            for shard_index in ordered:
+                shard = self._shards[shard_index]
+                try:
+                    self._sync_locked(shard, version)
+                    plans[shard_index] = self._send_batch_locked(
+                        shard, per_shard[shard_index]
+                    )
+                except _PIPE_ERRORS:
+                    self._invalidate_locked(shard)
+                    plans[shard_index] = None
+            for shard_index in ordered:
+                shard = self._shards[shard_index]
+                plan = plans[shard_index]
+                if plan is not None:
+                    try:
+                        self._recv_batch_locked(shard, plan, results)
+                        continue
+                    except _PIPE_ERRORS:
+                        self._invalidate_locked(shard)
+                self._fallback_locked(
+                    shard, version, per_shard[shard_index], results
+                )
+        finally:
+            for shard in acquired:
+                shard.lock.release()
+        return [
+            result
+            if result is not None
+            else CommandResult(error="command was not dispatched")
+            for result in results
+        ]
+
+    # ------------------------------------------------------------------ #
+    # observability / lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _worker_stats(self, shard: _Shard) -> dict | None:
+        with shard.lock:
+            if shard.process is None or not shard.process.is_alive():
+                return None
+            try:
+                reply = self._request_locked(shard, ("stats",))
+            except (WorkerDiedError, EOFError, BrokenPipeError, OSError):
+                return None
+        return reply[1] if reply[0] == "ok" else None
+
+    def stats(self) -> dict:
+        """Summed evaluator cache counters across live workers."""
+        total: dict[str, int] = {}
+        for shard in self._shards:
+            payload = self._worker_stats(shard)
+            if not payload:
+                continue
+            for key, value in payload.items():
+                if isinstance(value, (int, float)):
+                    total[key] = total.get(key, 0) + value
+        total["worker_restarts"] = sum(s.restarts for s in self._shards)
+        return total
+
+    def shard_stats(self) -> list[dict]:
+        return [
+            {
+                "shard": shard.index,
+                "placement": "process",
+                "alive": shard.process is not None and shard.process.is_alive(),
+                "version": shard.version,
+                "restarts": shard.restarts,
+                "commands": shard.commands,
+                "known_kernels": len(shard.known),
+            }
+            for shard in self._shards
+        ]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            with shard.lock:
+                if shard.process is None:
+                    continue
+                try:
+                    shard.conn.send(("exit",))
+                except (BrokenPipeError, OSError):
+                    pass
+                shard.process.join(timeout=2)
+                if shard.process.is_alive():
+                    shard.process.terminate()
+                    shard.process.join(timeout=2)
+                try:
+                    shard.conn.close()
+                except OSError:
+                    pass

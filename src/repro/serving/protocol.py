@@ -11,19 +11,122 @@ issue:
   programs (fusion-search populations).
 
 Requests are plain frozen dataclasses so they can cross a transport
-boundary later (the in-process service passes them by reference). Every
-request exposes a ``shard_key`` (the kernel fingerprint used to route it
-to a replica) and, when the result is safely memoizable, a ``cache_key``
-for the service's shared result cache.
+boundary (the in-process frontend passes them by reference; the socket
+frontend ships them as bytes). Every request exposes a ``shard_key`` (the
+kernel fingerprint used to route it to an executor shard) and, when the
+result is safely memoizable, a ``cache_key`` for the service's shared
+result cache.
+
+Wire form: every message has ``to_bytes``/``from_bytes``, following the
+``models/serialize`` convention of a JSON header plus raw binary array
+payload — requests are structural (kernels serialize through
+:meth:`Kernel.to_dict`), responses carry their score arrays as raw
+dtype-tagged bytes so a served value is **bitwise identical** on both
+sides of a socket. :func:`encode_request` / :func:`decode_request`
+dispatch on a type tag; :func:`send_frame` / :func:`recv_frame` are the
+shared length-prefixed framing both ends of the TCP transport speak.
 """
 from __future__ import annotations
 
+import json
+import struct
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..compiler.kernels import Kernel
 from ..compiler.tiling import TileConfig
+
+
+class WireError(ValueError):
+    """Malformed wire bytes: bad frame, unknown type tag, or truncation."""
+
+
+class UnknownKernelError(WireError):
+    """A fingerprint-only kernel reference missed the receiver's interner.
+
+    The transport answers with a ``need_kernel`` response and the client
+    retries with the kernel attached — the same miss/retry contract the
+    process executor uses over pipes.
+    """
+
+    def __init__(self, fingerprint: str) -> None:
+        super().__init__(f"unknown kernel {fingerprint!r}")
+        self.fingerprint = fingerprint
+
+
+#: Error-string prefix of a response that means "resend with full
+#: kernels" (a transport-level retry hint, not a client-visible failure).
+NEED_KERNEL_PREFIX = "need_kernel:"
+
+
+#: Frame header: request id (correlates responses on a pipelined
+#: connection) + body length.
+_FRAME = struct.Struct(">QI")
+
+#: Upper bound on one frame's body — a decoding guard against garbage
+#: lengths from a corrupted stream, far above any real message.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: Default bound on a receiver's fingerprint -> kernel interning map.
+MAX_INTERNED_KERNELS = 4096
+
+
+def _kernel_to_wire(kernel: Kernel, known) -> dict:
+    """Kernel wire entry: full graph, or a fingerprint-only reference.
+
+    ``known`` is the sender's record of fingerprints the receiver has
+    already interned (``None`` = always send full). Steady-state traffic
+    for a warm kernel set is fingerprint-only — the dominant serialization
+    cost (the graph) is paid once per kernel per connection.
+    """
+    fingerprint = kernel.fingerprint()
+    if known is not None and fingerprint in known:
+        return {"fingerprint": fingerprint}
+    return {"fingerprint": fingerprint, **kernel.to_dict()}
+
+
+def _kernel_from_wire(entry: dict, interner, max_interned: int) -> Kernel:
+    """Resolve a wire entry against ``interner`` (fingerprint -> Kernel).
+
+    Full entries are integrity-checked (declared fingerprint must match
+    the rebuilt kernel's) and interned; reference entries must hit the
+    interner or raise :class:`UnknownKernelError` for the miss/retry path.
+    """
+    fingerprint = entry["fingerprint"]
+    if "graph" not in entry:
+        if interner is None or fingerprint not in interner:
+            raise UnknownKernelError(fingerprint)
+        interner.move_to_end(fingerprint)
+        return interner[fingerprint]
+    kernel = Kernel.from_dict(entry)
+    if kernel.fingerprint() != fingerprint:
+        raise WireError(
+            f"kernel fingerprint mismatch: declared {fingerprint!r}, "
+            f"rebuilt {kernel.fingerprint()!r}"
+        )
+    if interner is not None:
+        lru_touch(interner, fingerprint, kernel, max_interned)
+    return kernel
+
+
+def kernel_interner() -> "OrderedDict[str, Kernel]":
+    """A fresh fingerprint -> kernel LRU map for one receiving peer."""
+    return OrderedDict()
+
+
+def lru_touch(mapping: OrderedDict, key, value, max_entries: int) -> None:
+    """Insert/refresh ``key`` in a bounded LRU ``OrderedDict``.
+
+    The one definition of the interning eviction semantics — shared by
+    the wire decoder, the shard workers, and the executor's parent-side
+    known-fingerprint maps, so they cannot drift.
+    """
+    mapping[key] = value
+    mapping.move_to_end(key)
+    while len(mapping) > max_entries:
+        mapping.popitem(last=False)
 
 
 @dataclass(frozen=True)
@@ -44,6 +147,23 @@ class TileScoresRequest:
     def cache_key(self) -> tuple:
         return ("tiles", self.kernel.fingerprint(), tuple(t.dims for t in self.tiles))
 
+    def fingerprints(self) -> list[str]:
+        return [self.kernel.fingerprint()]
+
+    def to_bytes(self, known=None) -> bytes:
+        return _pack_request(
+            "tile_scores",
+            kernel=_kernel_to_wire(self.kernel, known),
+            tiles=[list(t.dims) for t in self.tiles],
+        )
+
+    @classmethod
+    def _from_payload(cls, payload, interner, max_interned) -> "TileScoresRequest":
+        return cls(
+            kernel=_kernel_from_wire(payload["kernel"], interner, max_interned),
+            tiles=tuple(TileConfig(dims=tuple(d)) for d in payload["tiles"]),
+        )
+
 
 @dataclass(frozen=True)
 class KernelRuntimeRequest:
@@ -56,6 +176,18 @@ class KernelRuntimeRequest:
 
     def cache_key(self) -> tuple:
         return ("kernel", self.kernel.fingerprint())
+
+    def fingerprints(self) -> list[str]:
+        return [self.kernel.fingerprint()]
+
+    def to_bytes(self, known=None) -> bytes:
+        return _pack_request(
+            "kernel_runtime", kernel=_kernel_to_wire(self.kernel, known)
+        )
+
+    @classmethod
+    def _from_payload(cls, payload, interner, max_interned) -> "KernelRuntimeRequest":
+        return cls(kernel=_kernel_from_wire(payload["kernel"], interner, max_interned))
 
 
 @dataclass(frozen=True)
@@ -82,8 +214,83 @@ class ProgramRuntimesRequest:
         # memoization inside the replica already captures the reuse.
         return None
 
+    def fingerprints(self) -> list[str]:
+        return [k.fingerprint() for kernels in self.programs for k in kernels]
+
+    def to_bytes(self, known=None) -> bytes:
+        return _pack_request(
+            "program_runtimes",
+            programs=[
+                [_kernel_to_wire(k, known) for k in kernels]
+                for kernels in self.programs
+            ],
+        )
+
+    @classmethod
+    def _from_payload(cls, payload, interner, max_interned) -> "ProgramRuntimesRequest":
+        return cls(
+            programs=tuple(
+                tuple(
+                    _kernel_from_wire(k, interner, max_interned) for k in kernels
+                )
+                for kernels in payload["programs"]
+            )
+        )
+
 
 Request = TileScoresRequest | KernelRuntimeRequest | ProgramRuntimesRequest
+
+_REQUEST_TYPES = {
+    "tile_scores": TileScoresRequest,
+    "kernel_runtime": KernelRuntimeRequest,
+    "program_runtimes": ProgramRuntimesRequest,
+}
+
+
+def _pack_request(tag: str, **fields) -> bytes:
+    return json.dumps({"type": tag, **fields}).encode()
+
+
+def encode_request(request: Request, known=None) -> bytes:
+    """Serialize any request to its wire bytes.
+
+    ``known`` (a set of fingerprints the receiver has interned) turns
+    repeat kernels into fingerprint-only references — see
+    :func:`_kernel_to_wire`.
+    """
+    try:
+        to_bytes = request.to_bytes
+    except AttributeError:
+        raise WireError(
+            f"not a wire-serializable request: {type(request).__name__}"
+        ) from None
+    return to_bytes(known=known)
+
+
+def decode_request(
+    data: bytes,
+    interner=None,
+    max_interned: int = MAX_INTERNED_KERNELS,
+) -> Request:
+    """Rebuild a request from :func:`encode_request` bytes.
+
+    ``interner`` is the receiving peer's fingerprint -> kernel LRU map
+    (one per connection; see :func:`kernel_interner`): full kernels are
+    interned into it, fingerprint-only references resolved from it.
+
+    Raises:
+        UnknownKernelError: a reference missed the interner (the caller
+            should answer ``need_kernel`` so the sender retries in full).
+        WireError: on undecodable bytes or an unknown type tag.
+    """
+    try:
+        payload = json.loads(data.decode())
+        cls = _REQUEST_TYPES[payload["type"]]
+        return cls._from_payload(payload, interner, max_interned)
+    except WireError:
+        raise
+    except Exception as exc:
+        raise WireError(f"undecodable request: {exc}") from exc
 
 
 @dataclass
@@ -116,3 +323,134 @@ class Response:
             raise RuntimeError(f"cost-model request failed: {self.error}")
         assert self.value is not None
         return self.value
+
+    def to_bytes(self) -> bytes:
+        """Wire form: JSON header + raw array payload (bitwise-exact).
+
+        The value crosses as its own buffer bytes with a dtype/shape tag,
+        never through a decimal text round-trip — what makes socket-served
+        scores byte-identical to in-process ones.
+        """
+        if self.value is None:
+            kind, dtype, shape, payload = "none", None, None, b""
+        elif isinstance(self.value, np.ndarray):
+            arr = np.ascontiguousarray(self.value)
+            kind, dtype, shape = "array", arr.dtype.str, list(arr.shape)
+            payload = arr.tobytes()
+        else:
+            kind, dtype, shape = "scalar", "<f8", None
+            payload = struct.pack("<d", float(self.value))
+        header = json.dumps(
+            {
+                "kind": kind,
+                "dtype": dtype,
+                "shape": shape,
+                "model_version": self.model_version,
+                "batch_size": self.batch_size,
+                "cache_hit": self.cache_hit,
+                "latency_s": self.latency_s,
+                "error": self.error,
+            }
+        ).encode()
+        return struct.pack(">I", len(header)) + header + payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Response":
+        """Rebuild a response from :meth:`to_bytes` bytes."""
+        try:
+            (header_len,) = struct.unpack_from(">I", data, 0)
+            header = json.loads(data[4:4 + header_len].decode())
+            payload = data[4 + header_len:]
+            kind = header["kind"]
+            if kind == "none":
+                value = None
+            elif kind == "scalar":
+                value = float(struct.unpack("<d", payload)[0])
+            elif kind == "array":
+                value = np.frombuffer(payload, dtype=np.dtype(header["dtype"]))
+                value = value.reshape(header["shape"])
+            else:
+                raise WireError(f"unknown value kind {kind!r}")
+            return cls(
+                value=value,
+                model_version=header["model_version"],
+                batch_size=header["batch_size"],
+                cache_hit=header["cache_hit"],
+                latency_s=header["latency_s"],
+                error=header["error"],
+            )
+        except WireError:
+            raise
+        except Exception as exc:
+            raise WireError(f"undecodable response: {exc}") from exc
+
+
+# ---------------------------------------------------------------------- #
+# framing: the length-prefixed envelope both ends of the TCP transport use
+# ---------------------------------------------------------------------- #
+
+
+def frame_bytes(request_id: int, body: bytes) -> bytes:
+    """One framed ``(request_id, body)`` message as raw bytes."""
+    return _FRAME.pack(request_id, len(body)) + body
+
+
+def send_frame(sock, request_id: int, body: bytes) -> None:
+    """Write one ``(request_id, body)`` frame to a socket."""
+    sock.sendall(frame_bytes(request_id, body))
+
+
+def _recv_exact(sock, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on a clean EOF at a boundary."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == n:
+                return None
+            raise WireError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock) -> tuple[int, bytes] | None:
+    """Read one frame; ``None`` when the peer closed between frames.
+
+    Raises:
+        WireError: on truncation mid-frame or an implausible body length.
+    """
+    header = _recv_exact(sock, _FRAME.size)
+    if header is None:
+        return None
+    request_id, length = _FRAME.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame body of {length} bytes exceeds the cap")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise WireError("connection closed before frame body")
+    return request_id, body
+
+
+def extract_frame(buffer: bytearray) -> tuple[int, bytes] | None:
+    """Pop one complete frame off the front of a receive ``buffer``.
+
+    The incremental-parsing counterpart of :func:`recv_frame` for
+    non-blocking readers: returns ``None`` while the buffer holds only a
+    partial frame, otherwise consumes and returns ``(request_id, body)``.
+
+    Raises:
+        WireError: on an implausible body length (corrupted stream).
+    """
+    if len(buffer) < _FRAME.size:
+        return None
+    request_id, length = _FRAME.unpack_from(bytes(buffer[:_FRAME.size]))
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame body of {length} bytes exceeds the cap")
+    total = _FRAME.size + length
+    if len(buffer) < total:
+        return None
+    body = bytes(buffer[_FRAME.size:total])
+    del buffer[:total]
+    return request_id, body

@@ -1,10 +1,14 @@
-"""Versioned model registry with atomic activation.
+"""Versioned model registry with atomic activation and disk spill.
 
-Checkpoints are stored as the serialized npz bytes produced by
-:func:`repro.models.serialize.save_model_bytes` — the registry never
-touches disk, so publishing and hot-swapping a checkpoint is a pure
-in-memory operation (and the bytes form is exactly what a cross-process
-registry would ship over a wire).
+Checkpoints are stored as the sealed blob bytes produced by
+:func:`repro.models.serialize.save_model_bytes` — publishing and
+hot-swapping a checkpoint is a pure in-memory operation, and the bytes
+form is exactly what ships to executor worker processes (over pipes) and
+remote nodes (over sockets). :meth:`ModelRegistry.spill` writes those
+same bytes to a directory (one file per version plus a manifest) and
+:meth:`ModelRegistry.load` restores them byte-identically, so a restarted
+service — or a fresh worker on another machine — recovers the exact
+active checkpoint.
 
 Activation is a single reference swap under a lock: the service snapshots
 the active version once per micro-batch, so an in-flight batch keeps the
@@ -13,10 +17,24 @@ one response.
 """
 from __future__ import annotations
 
+import json
+import re
 import threading
+from pathlib import Path
 
-from ..models.serialize import load_model_bytes, save_model_bytes
+from ..models.serialize import (
+    load_model_bytes,
+    save_model_bytes,
+    validate_model_blob,
+)
 from ..models.trainer import TrainResult
+
+#: Version names double as spill file names, so they are restricted to
+#: filesystem-safe characters.
+_VERSION_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+
+_MANIFEST_NAME = "manifest.json"
+_BLOB_SUFFIX = ".ckpt"
 
 
 class ModelRegistry:
@@ -55,15 +73,32 @@ class ModelRegistry:
                 :meth:`activate`).
 
         Raises:
-            ValueError: if ``version`` is already taken.
+            ValueError: if ``version`` is already taken or not a
+                filesystem-safe name (it doubles as the spill file name).
+            ModelBlobError: if ``result`` is bytes that fail integrity
+                validation (a garbage blob is rejected at publish time,
+                not when a worker tries to serve it).
         """
-        blob = result if isinstance(result, bytes) else save_model_bytes(result)
+        if isinstance(result, bytes):
+            validate_model_blob(result)
+            blob = result
+        else:
+            blob = save_model_bytes(result)
         with self._lock:
             if version is None:
                 self._counter += 1
                 version = f"v{self._counter}"
+            elif not _VERSION_RE.match(version):
+                raise ValueError(
+                    f"version {version!r} is not a filesystem-safe name"
+                )
             if version in self._blobs:
                 raise ValueError(f"version {version!r} already published")
+            # Keep auto-numbering ahead of explicit vN names so a reloaded
+            # registry (or a caller mixing both styles) never collides.
+            match = re.fullmatch(r"v(\d+)", version)
+            if match:
+                self._counter = max(self._counter, int(match.group(1)))
             self._blobs[version] = blob
             self._order.append(version)
             if activate:
@@ -120,3 +155,53 @@ class ModelRegistry:
                 return self._blobs[version]
             except KeyError:
                 raise KeyError(f"unknown model version {version!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+
+    def spill(self, directory: str | Path) -> Path:
+        """Write every checkpoint + a manifest to ``directory``.
+
+        Each version lands as ``<version>.ckpt`` holding its exact blob
+        bytes; ``manifest.json`` records publication order and the active
+        version. Re-spilling over an existing directory overwrites —
+        version blobs are immutable, so this is idempotent.
+
+        Returns:
+            The directory written.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            blobs = dict(self._blobs)
+            order = list(self._order)
+            active = self._active
+        for version, blob in blobs.items():
+            (directory / f"{version}{_BLOB_SUFFIX}").write_bytes(blob)
+        manifest = {"versions": order, "active": active}
+        (directory / _MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+        return directory
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "ModelRegistry":
+        """Restore a registry spilled by :meth:`spill`, byte-identically.
+
+        Every blob is integrity-checked on the way in (typed
+        ``ModelBlobError`` on truncation/corruption), the publication
+        order and active version are restored, and auto-numbering resumes
+        past the highest reloaded ``vN``.
+
+        Raises:
+            FileNotFoundError: no manifest (or a missing version file).
+            ModelBlobError: a checkpoint file failed validation.
+        """
+        directory = Path(directory)
+        manifest = json.loads((directory / _MANIFEST_NAME).read_text())
+        registry = cls()
+        for version in manifest["versions"]:
+            blob = (directory / f"{version}{_BLOB_SUFFIX}").read_bytes()
+            registry.publish(blob, version=version, activate=False)
+        if manifest["active"] is not None:
+            registry.activate(manifest["active"])
+        return registry

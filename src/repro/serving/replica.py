@@ -26,6 +26,21 @@ from ..data.batching import KernelCache
 from ..models.trainer import TrainResult
 
 
+def shard_of(shard_key: str, num_shards: int) -> int:
+    """Stable shard index for a routing key (a hex fingerprint digest).
+
+    Kernel fingerprints are sha256 hex digests — uniformly distributed
+    already, so a slice of the digest is a fair shard id, and (unlike
+    ``hash()``) stable across processes and machines. Every execution
+    backend routes through this one function, which is why a request
+    lands on the same shard whether the shard is an in-process replica or
+    a worker subprocess.
+    """
+    if num_shards <= 1 or not shard_key:
+        return 0
+    return int(shard_key[:8], 16) % num_shards
+
+
 class ResultCache:
     """Thread-safe LRU cache of finished responses, keyed by request.
 
@@ -127,14 +142,7 @@ class ReplicaPool:
 
     def route(self, shard_key: str) -> LearnedEvaluator:
         """The replica owning ``shard_key`` (stable fingerprint hash)."""
-        if len(self.replicas) == 1:
-            return self.replicas[0]
-        # Kernel fingerprints are hex sha256 digests — uniformly
-        # distributed already, so a slice of the digest is a fair shard id
-        # (and, unlike hash(), stable across processes for a future
-        # cross-process tier).
-        shard = int(shard_key[:8], 16) % len(self.replicas) if shard_key else 0
-        return self.replicas[shard]
+        return self.replicas[shard_of(shard_key, len(self.replicas))]
 
     def stats(self) -> dict[str, int]:
         """Summed evaluator cache counters across replicas.

@@ -9,9 +9,18 @@ latency/throughput dial of serving systems. The batch executor (the
 service's worker loop) turns each micro-batch into as few model forwards
 as possible.
 
+With ``adaptive_flush`` the age cutoff is derived from the observed
+request inter-arrival gap (an EMA) instead of being fixed: when arrivals
+are sparser than the flush window — a lone synchronous client whose next
+request only arrives after the current one resolves — waiting can never
+coalesce anything, so the batch is cut immediately; when arrivals are
+dense, the full window applies and coalescing wins. This removes the
+fixed-window latency tax in the 1-client regime while keeping the
+many-client throughput win.
+
 The scheduler is transport-agnostic and knows nothing about models; it is
-the piece a remote (socket/gRPC) front-end would feed in a cross-process
-deployment.
+the scheduling core that every transport frontend (the in-process client
+path and the socket frontend alike) feeds.
 """
 from __future__ import annotations
 
@@ -40,15 +49,44 @@ class MicroBatcher:
         flush_interval_s: cut a batch once the oldest pending request has
             waited this long, even if the batch is not full (bounds the
             latency a lone client pays for batching).
+        adaptive_flush: derive the effective age cutoff from the observed
+            inter-arrival EMA — collapse it to zero while arrivals are
+            sparser than the window (waiting cannot coalesce), restore the
+            full window while they are dense.
+        gap_ema_alpha: EMA smoothing weight for the inter-arrival gap.
+            The first observed gap initializes the EMA directly (a lone
+            synchronous client flips to the zero-wait regime on its
+            second request); afterwards a small weight keeps one long
+            inter-burst gap — e.g. the execution time of the previous
+            batch, during which every client was blocked — from spiking
+            the estimate above the window and prematurely cutting the
+            next batch.
     """
 
-    def __init__(self, max_batch_size: int = 64, flush_interval_s: float = 0.002) -> None:
+    #: Cap on one observed inter-arrival gap: a single long idle pause
+    #: (e.g. between benchmark phases) must not dominate the EMA for the
+    #: first requests of the next burst.
+    _GAP_CLAMP_S = 0.25
+
+    def __init__(
+        self,
+        max_batch_size: int = 64,
+        flush_interval_s: float = 0.002,
+        adaptive_flush: bool = False,
+        gap_ema_alpha: float = 0.1,
+    ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if flush_interval_s < 0:
             raise ValueError("flush_interval_s must be >= 0")
+        if not 0.0 < gap_ema_alpha <= 1.0:
+            raise ValueError("gap_ema_alpha must be in (0, 1]")
         self.max_batch_size = max_batch_size
         self.flush_interval_s = flush_interval_s
+        self.adaptive_flush = adaptive_flush
+        self.gap_ema_alpha = gap_ema_alpha
+        self._gap_ema: float | None = None
+        self._last_arrival: float | None = None
         self._lock = threading.Lock()
         self._nonempty = threading.Condition(self._lock)
         self._pending: list[PendingRequest] = []
@@ -65,10 +103,40 @@ class MicroBatcher:
         with self._nonempty:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
+            if self._last_arrival is not None:
+                gap = min(pending.enqueued_at - self._last_arrival, self._GAP_CLAMP_S)
+                if self._gap_ema is None:
+                    self._gap_ema = gap
+                else:
+                    alpha = self.gap_ema_alpha
+                    self._gap_ema = (1.0 - alpha) * self._gap_ema + alpha * gap
+            self._last_arrival = pending.enqueued_at
             self._pending.append(pending)
             self.submitted += 1
             self._nonempty.notify()
         return pending.future
+
+    @property
+    def arrival_gap_ema_s(self) -> float | None:
+        """Smoothed inter-arrival gap (None before two submissions)."""
+        with self._lock:
+            return self._gap_ema
+
+    def effective_flush_interval(self) -> float:
+        """The age cutoff currently in force.
+
+        Fixed mode returns ``flush_interval_s``. Adaptive mode collapses
+        the cutoff to zero while the inter-arrival EMA exceeds the window:
+        the expected wait for even one more co-batchable request is longer
+        than we are willing to hold the batch, so holding it buys nothing
+        (the lone-synchronous-client regime). Dense arrivals restore the
+        full window.
+        """
+        if not self.adaptive_flush or self._gap_ema is None:
+            return self.flush_interval_s
+        if self._gap_ema >= self.flush_interval_s:
+            return 0.0
+        return self.flush_interval_s
 
     def next_batch(self, timeout: float | None = None) -> list[PendingRequest]:
         """Block until a batch is due, then return it (oldest first).
@@ -84,10 +152,11 @@ class MicroBatcher:
                 if self._pending:
                     if len(self._pending) >= self.max_batch_size or self._closed:
                         return self._cut()
+                    interval = self.effective_flush_interval()
                     age = time.perf_counter() - self._pending[0].enqueued_at
-                    if age >= self.flush_interval_s:
+                    if age >= interval:
                         return self._cut()
-                    wait = self.flush_interval_s - age
+                    wait = interval - age
                 elif self._closed:
                     return []
                 else:

@@ -1,10 +1,21 @@
-"""The cost-model inference service: scheduler + registry + replicas.
+"""The scheduler core of the serving stack: batching + versioning + stats.
 
-``CostModelService`` is the in-process serving tier the paper's deployment
-mode implies: one warm learned model shared by many concurrent compile-time
-clients (tile tuners, fusion tuners, benchmark drivers). Requests from all
-clients funnel through a :class:`~repro.serving.scheduler.MicroBatcher`
-and are executed in coalesced model forwards:
+The serving tier is three explicit layers:
+
+* **transport frontends** (:mod:`repro.serving.frontend`) — request
+  ingress: the in-process client path and the length-prefixed TCP socket
+  frontend. Both feed the same scheduler core.
+* **scheduler core** (this module) — ``CostModelService``: the
+  :class:`~repro.serving.scheduler.MicroBatcher`, the per-micro-batch
+  checkpoint-version snapshot, the shared version-scoped result cache,
+  and the operational stats. Transport-agnostic on one side,
+  placement-agnostic on the other.
+* **execution backends** (:mod:`repro.serving.executors`) — where the
+  coalesced forwards run: in-thread replicas (default) or per-shard
+  worker subprocesses with true parallel forwards.
+
+Requests from all frontends funnel through the micro-batcher and are
+reduced to as few coalesced forwards as possible:
 
 * tile-score requests for the *same kernel* are merged into one
   ``score_tiles_batched`` call (their candidate lists concatenated, the
@@ -18,6 +29,8 @@ Model selection is snapshotted **once per micro-batch**: a registry hot
 swap (:meth:`ModelRegistry.activate`) takes effect at the next batch cut,
 so in-flight requests are never dropped and no response ever mixes two
 checkpoints. Each response is stamped with the version that produced it.
+The executor syncs its shards to the snapshot before they execute, which
+extends the same guarantee across process boundaries.
 
 The service runs either with a background worker thread (:meth:`start`,
 for genuinely concurrent clients) or fully synchronously
@@ -36,6 +49,13 @@ import numpy as np
 
 from ..evaluation.service import ServingStats
 from ..models.trainer import TrainResult
+from .executors import (
+    Executor,
+    InThreadExecutor,
+    ProcessShardExecutor,
+    ProgramCommand,
+    TileCommand,
+)
 from .protocol import (
     KernelRuntimeRequest,
     ProgramRuntimesRequest,
@@ -44,8 +64,11 @@ from .protocol import (
     TileScoresRequest,
 )
 from .registry import ModelRegistry
-from .replica import ReplicaPool, ResultCache
+from .replica import ResultCache
 from .scheduler import MicroBatcher, PendingRequest
+
+EXECUTOR_CHOICES = ("thread", "process")
+"""Execution backends: in-thread replica pool, or per-shard subprocesses."""
 
 
 @dataclass(frozen=True)
@@ -56,15 +79,31 @@ class ServiceConfig:
         max_batch_size: micro-batch cut size (1 = naive per-request path).
         flush_interval_s: max age of the oldest pending request before a
             partial batch is cut anyway.
-        replicas: evaluator replicas to shard kernels across.
-        max_cached_kernels: per-replica precompute/feature memo bound.
+        adaptive_flush: derive the effective flush cutoff from the
+            observed inter-arrival EMA — zero wait while arrivals are
+            sparser than the window (the lone-client regime), the full
+            window while they are dense.
+        replicas: fingerprint shards — evaluator replicas for the
+            ``thread`` executor, worker subprocesses for ``process``.
+        executor: one of :data:`EXECUTOR_CHOICES`.
+        executor_start_method: multiprocessing start method for the
+            ``process`` executor (``spawn`` is thread-safe; ``fork`` boots
+            faster).
+        max_cached_kernels: per-shard precompute/feature memo bound.
         result_cache_entries: shared result-cache capacity (0 disables).
-        share_kernel_cache: one precompute cache for all replicas.
+            The result cache always lives in the frontend process,
+            whichever executor runs the forwards.
+        share_kernel_cache: one precompute cache for all in-thread
+            replicas (ignored by the ``process`` executor — worker caches
+            are per-process by construction).
     """
 
     max_batch_size: int = 64
     flush_interval_s: float = 0.002
+    adaptive_flush: bool = True
     replicas: int = 1
+    executor: str = "thread"
+    executor_start_method: str = "spawn"
     max_cached_kernels: int = 1024
     result_cache_entries: int = 4096
     share_kernel_cache: bool = True
@@ -78,6 +117,9 @@ class CostModelService:
             services) or a bare :class:`TrainResult`, which is wrapped in
             a private single-version registry.
         config: serving knobs; defaults are sensible for in-process use.
+        executor: a pre-built execution backend; overrides the
+            ``config.executor`` choice (dependency injection for tests
+            and custom placements).
 
     Responses hand out cached arrays by reference; clients must treat
     response values as read-only.
@@ -87,6 +129,7 @@ class CostModelService:
         self,
         source: ModelRegistry | TrainResult,
         config: ServiceConfig | None = None,
+        executor: Executor | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
         if isinstance(source, ModelRegistry):
@@ -99,13 +142,34 @@ class CostModelService:
         self.scheduler = MicroBatcher(
             max_batch_size=self.config.max_batch_size,
             flush_interval_s=self.config.flush_interval_s,
+            adaptive_flush=self.config.adaptive_flush,
         )
         self.result_cache = ResultCache(self.config.result_cache_entries)
         self.stats = ServingStats()
-        self._pool: ReplicaPool | None = None
+        self.executor = executor or self._build_executor()
         self._exec_lock = threading.Lock()
         self._thread: threading.Thread | None = None
         self._closed = False
+
+    def _build_executor(self) -> Executor:
+        if self.config.executor == "thread":
+            return InThreadExecutor(
+                self.registry,
+                replicas=self.config.replicas,
+                max_cached_kernels=self.config.max_cached_kernels,
+                share_kernel_cache=self.config.share_kernel_cache,
+            )
+        if self.config.executor == "process":
+            return ProcessShardExecutor(
+                self.registry,
+                shards=self.config.replicas,
+                max_cached_kernels=self.config.max_cached_kernels,
+                start_method=self.config.executor_start_method,
+            )
+        raise ValueError(
+            f"unknown executor {self.config.executor!r}; "
+            f"choose from {EXECUTOR_CHOICES}"
+        )
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -137,6 +201,7 @@ class CostModelService:
             self._thread.join()
             self._thread = None
         self.flush()  # never started: drain synchronously
+        self.executor.close()
 
     def __enter__(self) -> "CostModelService":
         return self.start()
@@ -189,17 +254,38 @@ class CostModelService:
             processed += len(batch)
 
     def metrics(self) -> dict:
-        """One merged operational snapshot (stats + caches + placement)."""
+        """One merged operational snapshot (stats + caches + placement).
+
+        Flat float counters from :class:`ServingStats` and the caches,
+        plus ``per_shard`` — a per-shard breakdown merging the service's
+        routing stats (requests, forwards, latency tails) with the
+        executor's placement/liveness details.
+        """
         snapshot = self.stats.snapshot()
         snapshot.update(
             {f"result_cache_{k}": v for k, v in self.result_cache.stats().items()}
         )
-        pool = self._pool
-        if pool is not None:
-            snapshot.update({f"evaluator_{k}": v for k, v in pool.stats().items()})
+        snapshot.update(
+            {f"evaluator_{k}": v for k, v in self.executor.stats().items()}
+        )
+        per_shard = self.stats.shard_snapshot()
+        for detail in self.executor.shard_stats():
+            # A shard that saw no traffic yet still gets a complete
+            # entry — consumers index the stats keys unconditionally.
+            entry = per_shard.setdefault(
+                str(detail["shard"]), ServingStats.empty_shard_entry()
+            )
+            entry.update(
+                {k: v for k, v in detail.items() if k != "shard"}
+            )
+        snapshot["per_shard"] = per_shard
         snapshot["active_version"] = self.registry.active_version
-        snapshot["replicas"] = float(self.config.replicas)
+        snapshot["executor"] = type(self.executor).__name__
+        snapshot["replicas"] = float(self.executor.num_shards)
         snapshot["pending"] = float(len(self.scheduler))
+        snapshot["flush_interval_effective_s"] = (
+            self.scheduler.effective_flush_interval()
+        )
         return snapshot
 
     # ------------------------------------------------------------------ #
@@ -224,25 +310,13 @@ class CostModelService:
             for pending in batch:
                 self._resolve_error(pending, version, message)
 
-    def _pool_for(self, version: str) -> ReplicaPool:
-        if self._pool is None or self._pool.version != version:
-            self._pool = ReplicaPool(
-                self.registry.get(version),
-                version,
-                replicas=self.config.replicas,
-                max_cached_kernels=self.config.max_cached_kernels,
-                share_kernel_cache=self.config.share_kernel_cache,
-            )
-        return self._pool
-
     def _execute(self, batch: list[PendingRequest]) -> None:
-        """Run one micro-batch: group, forward, resolve, account."""
+        """Run one micro-batch: group, execute, split, resolve, account."""
         with self._exec_lock:
             # Checkpoint snapshot for the whole batch — the hot-swap
-            # atomicity guarantee lives on this line.
+            # atomicity guarantee lives on this line. The executor syncs
+            # its shards to this version before any of them executes.
             version = self.registry.active_version
-            pool = self._pool_for(version)
-            forwards = 0
 
             tile_groups: dict[tuple[int, str], list[PendingRequest]] = {}
             runtime_groups: dict[int, list[PendingRequest]] = {}
@@ -252,14 +326,14 @@ class CostModelService:
                 try:
                     # A malformed request (e.g. fingerprinting raises) must
                     # fail alone, not take its co-batched neighbours down.
-                    evaluator = pool.route(request.shard_key())
+                    shard = self.executor.shard_for(request.shard_key())
                     if isinstance(request, TileScoresRequest):
-                        key = (id(evaluator), request.kernel.fingerprint())
+                        key = (shard, request.kernel.fingerprint())
                         tile_groups.setdefault(key, []).append(pending)
                     elif isinstance(request, KernelRuntimeRequest):
-                        runtime_groups.setdefault(id(evaluator), []).append(pending)
+                        runtime_groups.setdefault(shard, []).append(pending)
                     elif isinstance(request, ProgramRuntimesRequest):
-                        program_groups.setdefault(id(evaluator), []).append(pending)
+                        program_groups.setdefault(shard, []).append(pending)
                     else:
                         self._resolve_error(
                             pending,
@@ -269,60 +343,79 @@ class CostModelService:
                 except Exception:
                     self._resolve_error(pending, version, traceback.format_exc())
 
-            evaluators = {id(e): e for e in pool.replicas}
-
-            for (evaluator_id, _), group in tile_groups.items():
-                evaluator = evaluators[evaluator_id]
-                kernel = group[0].request.kernel
-                merged = [t for p in group for t in p.request.tiles]
-                try:
-                    scores = evaluator.score_tiles_batched(kernel, merged)
-                    forwards += 1
-                except Exception:
-                    self._resolve_group_error(group, version)
-                    continue
-                offset = 0
-                for pending in group:
-                    n = len(pending.request.tiles)
-                    value = np.asarray(scores[offset:offset + n])
-                    offset += n
-                    self._resolve(pending, value, version, len(group))
-
-            for evaluator_id, group in runtime_groups.items():
-                evaluator = evaluators[evaluator_id]
-                try:
-                    runtimes = evaluator.program_runtimes_batched(
-                        [[p.request.kernel] for p in group]
+            commands = []
+            groups: list[tuple[str, int, list[PendingRequest]]] = []
+            for (shard, _), group in tile_groups.items():
+                merged = tuple(t for p in group for t in p.request.tiles)
+                commands.append(
+                    TileCommand(shard=shard, kernel=group[0].request.kernel, tiles=merged)
+                )
+                groups.append(("tiles", shard, group))
+            for shard, group in runtime_groups.items():
+                commands.append(
+                    ProgramCommand(
+                        shard=shard,
+                        programs=tuple((p.request.kernel,) for p in group),
                     )
-                    forwards += 1
-                except Exception:
-                    self._resolve_group_error(group, version)
-                    continue
-                for pending, runtime in zip(group, runtimes):
-                    self._resolve(pending, float(runtime), version, len(group))
+                )
+                groups.append(("runtimes", shard, group))
+            for shard, group in program_groups.items():
+                merged_programs = tuple(
+                    tuple(kernels) for p in group for kernels in p.request.programs
+                )
+                commands.append(ProgramCommand(shard=shard, programs=merged_programs))
+                groups.append(("programs", shard, group))
 
-            for evaluator_id, group in program_groups.items():
-                evaluator = evaluators[evaluator_id]
-                merged_programs = [
-                    list(kernels) for p in group for kernels in p.request.programs
-                ]
-                try:
-                    runtimes = evaluator.program_runtimes_batched(merged_programs)
-                    forwards += 1
-                except Exception:
-                    self._resolve_group_error(group, version)
+            results = self.executor.run(version, commands) if commands else []
+
+            forwards = 0
+            for (kind, shard, group), result in zip(groups, results):
+                if result.error is not None:
+                    for pending in group:
+                        self._resolve_error(pending, version, result.error, shard)
                     continue
-                offset = 0
-                for pending in group:
-                    n = len(pending.request.programs)
-                    value = np.asarray(runtimes[offset:offset + n])
-                    offset += n
-                    self._resolve(pending, value, version, len(group))
+                # Executors report what each command actually cost: a
+                # command fused into another's forward reports 0.
+                forwards += result.forwards
+                self.stats.record_shard(shard, forwards=result.forwards)
+                value = result.value
+                if kind == "tiles":
+                    offset = 0
+                    for pending in group:
+                        n = len(pending.request.tiles)
+                        self._resolve(
+                            pending,
+                            np.asarray(value[offset:offset + n]),
+                            version,
+                            len(group),
+                            shard,
+                        )
+                        offset += n
+                elif kind == "runtimes":
+                    for pending, runtime in zip(group, value):
+                        self._resolve(pending, float(runtime), version, len(group), shard)
+                else:
+                    offset = 0
+                    for pending in group:
+                        n = len(pending.request.programs)
+                        self._resolve(
+                            pending,
+                            np.asarray(value[offset:offset + n]),
+                            version,
+                            len(group),
+                            shard,
+                        )
+                        offset += n
 
             self.stats.record_batch(len(batch), forwards)
 
     def _resolve(
-        self, pending: PendingRequest, value, version: str, group_size: int
+        self,
+        pending: PendingRequest,
+        value,
+        version: str,
+        group_size: int,
+        shard: int | None = None,
     ) -> None:
         if pending.future.done():
             return
@@ -330,7 +423,7 @@ class CostModelService:
         key = pending.request.cache_key()
         if key is not None:
             self.result_cache.put((version, key), value)
-        self.stats.record_response(latency, cache_hit=False)
+        self.stats.record_response(latency, cache_hit=False, shard=shard)
         pending.future.set_result(
             Response(
                 value=value,
@@ -340,18 +433,19 @@ class CostModelService:
             )
         )
 
-    def _resolve_error(self, pending: PendingRequest, version: str, message: str) -> None:
+    def _resolve_error(
+        self,
+        pending: PendingRequest,
+        version: str,
+        message: str,
+        shard: int | None = None,
+    ) -> None:
         if pending.future.done():
             return
         latency = time.perf_counter() - pending.enqueued_at
-        self.stats.record_response(latency, cache_hit=False, error=True)
+        self.stats.record_response(latency, cache_hit=False, error=True, shard=shard)
         pending.future.set_result(
             Response(
                 value=None, model_version=version, latency_s=latency, error=message
             )
         )
-
-    def _resolve_group_error(self, group: list[PendingRequest], version: str) -> None:
-        message = traceback.format_exc()
-        for pending in group:
-            self._resolve_error(pending, version, message)

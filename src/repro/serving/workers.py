@@ -1,0 +1,156 @@
+"""Shard worker: the subprocess half of :class:`ProcessShardExecutor`.
+
+Each worker owns one fingerprint-shard of the kernel population: a private
+:class:`~repro.autotuner.LearnedEvaluator` (with its feature/prediction
+memos and precompute cache) rebuilt from checkpoint blob bytes whenever
+the parent ships a new version. Workers communicate over a
+``multiprocessing`` pipe with small tagged tuples:
+
+* ``("load", version, blob)`` — deserialize ``blob`` (the exact bytes of
+  :meth:`ModelRegistry.blob`) and serve it; replies ``("ok", version)``.
+* ``("tiles", fingerprint, kernel_or_None, dims_list)`` — score candidate
+  tiles (tile configs cross the pipe as raw dims tuples). Kernels are
+  *interned* by fingerprint on first sight so the steady-state request
+  carries only the fingerprint string instead of a re-pickled graph; a
+  worker that has evicted the kernel replies ``("miss", fingerprint)``
+  and the parent retries with the kernel attached.
+* ``("tile_batch", entries)`` — score several kernels' candidate tiles
+  in **one** fused multi-kernel forward (``entries`` is a list of
+  ``(fingerprint, kernel_or_None, dims_list)``); replies
+  ``("ok", arrays)`` with one score array per entry, or
+  ``("miss", fingerprints)`` listing every unresolved kernel. This is
+  the shard's batching policy: a whole micro-batch slice costs one
+  forward and one pipe round trip.
+* ``("programs", entries)`` — price candidate programs; every kernel
+  crosses as ``(fingerprint, kernel_or_None)`` through the same
+  interning, with ``("miss", fingerprints)`` listing unresolved kernels.
+* ``("stats", )`` — evaluator cache counters + interning size.
+* ``("exit", )`` — clean shutdown.
+
+Replies are ``("ok", value)`` / ``("err", traceback_string)`` /
+``("miss", fingerprint)``. Score arrays cross the pipe as pickled numpy
+arrays — dtype and bytes preserved exactly, which is what keeps
+process-sharded serving bitwise-identical to in-thread serving at equal
+batch shape.
+
+The module is import-light at top level so a ``spawn``-started worker
+boots quickly; heavyweight imports happen inside :func:`shard_worker`.
+"""
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+def shard_worker(conn, max_cached_kernels: int = 1024) -> None:
+    """Serve shard requests on ``conn`` until EOF or an ``exit`` message.
+
+    Args:
+        conn: child end of a ``multiprocessing.Pipe``.
+        max_cached_kernels: evaluator cache bound, and the bound on the
+            fingerprint -> kernel interning map.
+    """
+    import traceback
+
+    import numpy as np
+
+    from ..autotuner.evaluators import LearnedEvaluator
+    from ..compiler.tiling import TileConfig
+    from .protocol import lru_touch
+
+    def tile_configs(dims_list):
+        """Rebuild TileConfigs from the raw dims tuples on the wire."""
+        return [TileConfig(dims=tuple(d)) for d in dims_list]
+
+    evaluator: LearnedEvaluator | None = None
+    version: str | None = None
+    interned: OrderedDict[str, object] = OrderedDict()
+
+    def intern(fingerprint, kernel):
+        """Remember ``kernel`` under ``fingerprint`` (LRU-bounded)."""
+        if kernel is None:
+            kernel = interned.get(fingerprint)
+            if kernel is None:
+                return None
+        lru_touch(interned, fingerprint, kernel, max_cached_kernels)
+        return kernel
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        op = message[0]
+        try:
+            if op == "load":
+                _, new_version, blob = message
+                evaluator = LearnedEvaluator.from_checkpoint_bytes(
+                    blob, max_cached_kernels=max_cached_kernels
+                )
+                version = new_version
+                conn.send(("ok", version))
+            elif op == "tiles":
+                _, fingerprint, kernel, dims_list = message
+                kernel = intern(fingerprint, kernel)
+                if kernel is None:
+                    conn.send(("miss", fingerprint))
+                    continue
+                if evaluator is None:
+                    conn.send(("err", "no checkpoint loaded"))
+                    continue
+                scores = evaluator.score_tiles_batched(
+                    kernel, tile_configs(dims_list)
+                )
+                conn.send(("ok", np.asarray(scores)))
+            elif op == "tile_batch":
+                _, entries = message
+                resolved: list[tuple[object, list]] = []
+                missing: list[str] = []
+                for fingerprint, kernel, dims_list in entries:
+                    kernel = intern(fingerprint, kernel)
+                    if kernel is None:
+                        missing.append(fingerprint)
+                    else:
+                        resolved.append((kernel, tile_configs(dims_list)))
+                if missing:
+                    conn.send(("miss", missing))
+                    continue
+                if evaluator is None:
+                    conn.send(("err", "no checkpoint loaded"))
+                    continue
+                arrays = evaluator.score_tile_groups(resolved)
+                conn.send(("ok", [np.asarray(a) for a in arrays]))
+            elif op == "programs":
+                _, entries = message
+                programs = []
+                missing: list[str] = []
+                for kernel_entries in entries:
+                    resolved = []
+                    for fingerprint, kernel in kernel_entries:
+                        kernel = intern(fingerprint, kernel)
+                        if kernel is None:
+                            missing.append(fingerprint)
+                        else:
+                            resolved.append(kernel)
+                    programs.append(resolved)
+                if missing:
+                    conn.send(("miss", missing))
+                    continue
+                if evaluator is None:
+                    conn.send(("err", "no checkpoint loaded"))
+                    continue
+                runtimes = evaluator.program_runtimes_batched(programs)
+                conn.send(("ok", np.asarray(runtimes)))
+            elif op == "stats":
+                payload = dict(evaluator.stats()) if evaluator is not None else {}
+                payload["interned_kernels"] = len(interned)
+                payload["version"] = version
+                conn.send(("ok", payload))
+            elif op == "exit":
+                return
+            else:
+                conn.send(("err", f"unknown worker op {op!r}"))
+        except Exception:
+            try:
+                conn.send(("err", traceback.format_exc()))
+            except (BrokenPipeError, OSError):
+                return
