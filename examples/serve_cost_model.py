@@ -1,36 +1,94 @@
-"""Serve one warm cost model to many concurrent autotuner clients.
+"""Serve one warm cost model to many concurrent autotuner clients —
+then run its deployment control plane end-to-end.
 
-Walkthrough of the three-layer serving stack: train a small tile model,
-publish it to a versioned registry, stand up the micro-batched inference
-service (scheduler core), run several tile autotuners concurrently against
-it through the standard evaluator interface, hot-swap a fine-tuned
-checkpoint mid-flight, attach a TCP socket frontend and query it like a
-remote tuner would, spill the registry to disk, and read the service
-metrics — including the per-shard executor breakdown.
+Walkthrough of the serving stack plus the control plane on top of it:
+train a small tile model, publish it to a versioned registry, stand up
+the micro-batched inference service (scheduler core), run several tile
+autotuners concurrently against it through the standard evaluator
+interface, then drive two rollouts the way production would:
+
+* a **healthy rollout** — fine-tune on collected serving feedback, stage
+  the checkpoint, and watch the controller walk it shadow → canary →
+  promoted on live accuracy windows;
+* an **injected regression** — stage a deliberately broken checkpoint
+  (readout negated: ranking exactly reversed) and watch the canary
+  auto-roll it back before it ever reaches full activation.
+
+Afterwards: a TCP socket frontend queried like a remote tuner would,
+registry spill/restore (staged marker included), and the service metrics
+with the per-shard and per-version breakdowns.
+
+Every claimed outcome is checked; the script exits non-zero on any
+failure, so CI runs it as a smoke test.
 
 Run:  PYTHONPATH=src python examples/serve_cost_model.py
 """
+import sys
 import tempfile
 import threading
 
 from repro.autotuner import HardwareEvaluator, model_tile_autotune
+from repro.compiler import enumerate_tile_sizes
 from repro.data import build_tile_dataset
-from repro.models import ModelConfig, TrainConfig, fine_tune, train_tile_model
+from repro.models import (
+    ModelConfig,
+    TrainConfig,
+    fine_tune_on_feedback,
+    train_tile_model,
+)
 from repro.serving import (
+    CANARY,
+    PROMOTED,
+    ROLLED_BACK,
+    SHADOW,
     CostModelService,
+    FeedbackCollector,
+    FullActivation,
     ModelRegistry,
+    RolloutConfig,
+    RolloutController,
     ServiceConfig,
     ServiceEvaluator,
     SocketEvaluator,
     SocketFrontend,
+    regressed_checkpoint,
+    request_key,
+    tile_measurement,
 )
+from repro.serving.protocol import TileScoresRequest
+from repro.tpu import TpuSimulator
 from repro.workloads import vision
+
+
+def _check(condition: bool, message: str) -> None:
+    """Assert a demo outcome; exit non-zero so CI catches regressions."""
+    if not condition:
+        print(f"SMOKE CHECK FAILED: {message}", file=sys.stderr)
+        sys.exit(1)
+
+
+def _drive_rollout(service, controller, feedback, simulator, stream, budget):
+    """Serve ``stream`` requests, report measurements, step the controller.
+
+    Returns (final_state, requests_used)."""
+    client = ServiceEvaluator(service)
+    for i, (kernel, tiles) in enumerate(stream[:budget]):
+        client.score_tiles_batched(kernel, tiles)
+        request = TileScoresRequest(kernel=kernel, tiles=tuple(tiles))
+        feedback.record_measurement(
+            request_key(request), tile_measurement(simulator, kernel, tiles)
+        )
+        state = controller.step()
+        if state in (PROMOTED, ROLLED_BACK):
+            return state, i + 1
+    return controller.state, budget
 
 
 def main() -> None:
     # 1. Train a first checkpoint offline (the paper's deployment mode:
     #    train once, query at compile time).
     programs = [vision.image_embed(0), vision.alexnet(0)]
+    simulator = TpuSimulator()
     dataset = build_tile_dataset(
         programs, max_kernels_per_program=6, max_tiles_per_kernel=8, seed=0
     )
@@ -42,21 +100,39 @@ def main() -> None:
 
     # 2. Publish it. The registry stores sealed checkpoint blobs (magic +
     #    SHA-256, so corruption is caught before deserialization) — hot
-    #    swaps are atomic reference flips.
-    registry = ModelRegistry()
+    #    swaps are atomic reference flips, and `retain` bounds a
+    #    continuously-learning registry's footprint (active and staged
+    #    versions are never pruned).
+    registry = ModelRegistry(retain=4)
     v1 = registry.publish(result)
     print(f"published checkpoint {v1} ({len(registry.blob(v1)) // 1024} kB serialized)")
 
-    # 3. Serve it. One scheduler core, one warm model, shared by every
-    #    frontend; queued queries coalesce into shared batched forwards.
-    #    The executor layer decides *where* forwards run: replicas=2 with
-    #    the default "thread" executor shards in-process; executor=
-    #    "process" would place each shard in its own worker subprocess
-    #    (true parallel forwards — see benchmarks/bench_serving.py).
+    # 3. Serve it, with the control plane attached: a FeedbackCollector
+    #    joins every served prediction with measured runtimes, and a
+    #    RolloutController will stage/promote/abort checkpoints on that
+    #    evidence. replicas=2 shards in-process; executor="process" would
+    #    place each shard in a worker subprocess instead.
+    feedback = FeedbackCollector()
+    # result_cache_entries=0: the rollout phases re-serve one request
+    # stream on purpose, and cached answers would bypass execution — and
+    # with it the shadow scoring the demo is about.
     service_config = ServiceConfig(
-        max_batch_size=32, flush_interval_s=0.002, adaptive_flush=True, replicas=2
+        max_batch_size=32, flush_interval_s=0.002, adaptive_flush=True,
+        replicas=2, result_cache_entries=0,
     )
-    with CostModelService(registry, service_config) as service:
+    with CostModelService(registry, service_config, feedback=feedback) as service:
+        controller = RolloutController(
+            service,
+            feedback,
+            RolloutConfig(
+                canary_fraction=0.5,
+                min_samples=10,
+                max_samples_per_phase=120,
+                promote_margin=0.15,
+                abort_margin=0.35,
+            ),
+        )
+
         # 4. Concurrent tuner clients — note: *unchanged* autotuner code,
         #    ServiceEvaluator speaks the standard evaluator protocol.
         results = {}
@@ -73,24 +149,82 @@ def main() -> None:
             threading.Thread(target=tune, args=(p.name + f"#{i}", p))
             for i, p in enumerate(programs * 2)
         ]
-        for t in tuners[: len(programs)]:
-            t.start()
-
-        # 5. Hot-swap a fine-tuned checkpoint while tuners are in flight.
-        #    In-flight micro-batches finish on v1; later ones use v2 —
-        #    no response ever mixes the two.
-        tuned_result = fine_tune(result, dataset.records, TrainConfig(steps=30, log_every=30))
-        v2 = registry.publish(tuned_result)
-        print(f"hot-swapped to {v2} mid-stream")
-        for t in tuners[len(programs):]:
+        for t in tuners:
             t.start()
         for t in tuners:
             t.join()
-
         for name, (speedup, version) in sorted(results.items()):
             print(f"  tuner {name:16s} speedup {speedup:5.2f}x  (served by {version})")
 
-        # 6. Remote ingress: a TCP socket frontend feeding the same
+        # The request stream the rollout phases serve: every kernel's
+        # leading tile candidates, round-robin.
+        stream = []
+        for _ in range(40):
+            for record in dataset.records:
+                tiles = enumerate_tile_sizes(record.kernel)[:4]
+                if len(tiles) == 4:
+                    stream.append((record.kernel, tiles))
+
+        # 5. Continuous learning, healthy path: collect feedback from
+        #    live traffic, fine-tune on it, stage the checkpoint, and let
+        #    the controller promote it through shadow and canary.
+        warm_state, _ = _drive_rollout(  # pre-rollout traffic fills v1's window
+            service, controller, feedback, simulator, stream, 30
+        )
+        tuned = fine_tune_on_feedback(result, feedback.samples(), TrainConfig(steps=30))
+        _check(tuned is not None, "feedback buffer produced no tile records")
+        v2 = controller.stage(tuned)
+        print(f"staged fine-tuned checkpoint {v2}; rollout begins in shadow")
+        state, used = _drive_rollout(service, controller, feedback, simulator, stream, 400)
+        print(f"  rollout of {v2}: {state} after {used} requests")
+        for t in controller.transitions:
+            print(f"    -> {t.state:11s} ({t.reason}; staged samples {t.staged_samples})")
+        _check(state == PROMOTED, f"healthy rollout ended {state}, expected promoted")
+        _check(registry.active_version == v2, "promotion did not activate the staged version")
+        _check(
+            any(t.state == SHADOW for t in controller.transitions)
+            and any(t.state == CANARY for t in controller.transitions),
+            "promotion skipped the shadow or canary phase",
+        )
+
+        # 6. Continuous learning, regression path: stage a broken
+        #    checkpoint straight into a canary (start_phase="canary" —
+        #    shadow would already catch it, which is the point of shadow;
+        #    the demo shows the canary net too). The canary serves it a
+        #    deterministic slice of real traffic; its accuracy window
+        #    collapses; the controller rolls it back before it ever
+        #    reaches full activation.
+        canary_controller = RolloutController(
+            service,
+            feedback,
+            RolloutConfig(
+                canary_fraction=0.5,
+                min_samples=10,
+                max_samples_per_phase=120,
+                promote_margin=0.15,
+                abort_margin=0.35,
+                start_phase=CANARY,
+            ),
+        )
+        bad = regressed_checkpoint(registry.blob(v2))
+        v3 = canary_controller.stage(bad, version="regressed")
+        state, used = _drive_rollout(
+            service, canary_controller, feedback, simulator, stream, 400
+        )
+        print(f"  rollout of {v3}: {state} after {used} requests")
+        _check(state == ROLLED_BACK, f"regressed rollout ended {state}, expected rolled_back")
+        _check(registry.active_version == v2, "rollback disturbed the active version")
+        _check(registry.staged_version is None, "rollback left a staged marker")
+        _check(
+            isinstance(service.get_rollout(), FullActivation),
+            "rollback did not restore the full-activation policy",
+        )
+        probe = ServiceEvaluator(service)
+        probe.score_tiles_batched(stream[0][0], stream[0][1])
+        _check(probe.model_version == v2, "post-rollback traffic not served by active")
+        print(f"  {v3} auto-rolled-back within {used} requests; {v2} still active")
+
+        # 7. Remote ingress: a TCP socket frontend feeding the same
         #    scheduler core — a tuner in another process or machine would
         #    connect exactly like this and share the same micro-batches.
         with SocketFrontend(service) as frontend:
@@ -103,24 +237,29 @@ def main() -> None:
                     f"  remote kernel_runtime over TCP: {runtime:.3e} s "
                     f"(served by {remote.model_version})"
                 )
+                _check(remote.model_version == v2, "socket traffic not on active version")
             print(f"  frontend traffic: {frontend.stats()}")
 
-        # 7. Persistence: spill every version + the active marker to disk;
+        # 8. Persistence: spill every version + the active/staged markers;
         #    a restarted service (or a fresh worker) recovers the exact
         #    active checkpoint bytes.
         with tempfile.TemporaryDirectory() as spill_dir:
             registry.spill(spill_dir)
             restored = ModelRegistry.load(spill_dir)
-            assert restored.blob(v2) == registry.blob(v2)
+            _check(
+                restored.blob(v2) == registry.blob(v2)
+                and restored.active_version == v2,
+                "spill/load did not round-trip the active checkpoint",
+            )
             print(f"registry spilled + restored byte-identically (active {restored.active_version})")
 
-        # 8. The service's operational story, in numbers — service-wide
-        #    first, then the per-shard executor breakdown.
+        # 9. The service's operational story, in numbers — service-wide,
+        #    then per shard, then the control plane's per-version view.
         metrics = service.metrics()
         print("service metrics:")
         for key in (
             "requests", "qps", "batches", "batch_occupancy",
-            "requests_per_forward", "cache_hit_rate",
+            "requests_per_forward", "cache_hit_rate", "shadow_forwards",
             "latency_p50_s", "latency_p99_s", "active_version", "executor",
         ):
             value = metrics[key]
@@ -133,6 +272,16 @@ def main() -> None:
                 f"occupancy {entry['requests_per_forward']:.1f}, "
                 f"p99 {entry['latency_p99_s'] * 1e3:.2f} ms"
             )
+        print("per-version breakdown:")
+        for version, entry in metrics["per_version"].items():
+            print(
+                f"  {version}: served {entry['served']:.0f} "
+                f"(canary {entry['canary']:.0f}), shadow {entry['shadow']:.0f}, "
+                f"window error {entry.get('feedback_mean_error', 0.0):.3f} "
+                f"over {entry.get('feedback_count', 0.0):.0f}"
+            )
+        _check(metrics["per_version"][v3]["canary"] > 0, "regressed canary saw no traffic")
+        print("all smoke checks passed")
 
 
 if __name__ == "__main__":

@@ -74,6 +74,20 @@ class _ShardStats:
         self.latencies: deque[float] = deque(maxlen=_SHARD_LATENCY_WINDOW)
 
 
+class _VersionStats:
+    """Per-checkpoint routing accumulator (the rollout control plane's
+    volume counters: response-path, canary slice, shadow scores)."""
+
+    __slots__ = ("served", "canary", "shadow", "errors", "shadow_errors")
+
+    def __init__(self) -> None:
+        self.served = 0
+        self.canary = 0
+        self.shadow = 0
+        self.errors = 0
+        self.shadow_errors = 0
+
+
 class ServingStats:
     """Thread-safe accumulator for the service's operational metrics.
 
@@ -95,13 +109,21 @@ class ServingStats:
         self.batches = 0
         self.batched_requests = 0
         self.model_forwards = 0
+        self.shadow_forwards = 0
         self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
         self._shards: dict[int, _ShardStats] = {}
+        self._versions: dict[str, _VersionStats] = {}
 
     def _shard(self, shard: int) -> _ShardStats:
         stats = self._shards.get(shard)
         if stats is None:
             stats = self._shards[shard] = _ShardStats()
+        return stats
+
+    def _version(self, version: str) -> _VersionStats:
+        stats = self._versions.get(version)
+        if stats is None:
+            stats = self._versions[version] = _VersionStats()
         return stats
 
     def record_response(
@@ -141,6 +163,69 @@ class ServingStats:
         with self._lock:
             stats = self._shard(shard)
             stats.forwards += forwards
+
+    def record_route(
+        self,
+        version: str | None,
+        canary: bool = False,
+        shadow: bool = False,
+        error: bool = False,
+    ) -> None:
+        """Account one routing decision against ``version``.
+
+        Response-path requests count as ``served`` (plus ``canary`` when
+        a rollout policy routed them to the staged version); shadow
+        scores count separately — they never produced a response.
+        """
+        if version is None:
+            return
+        with self._lock:
+            stats = self._version(version)
+            if shadow:
+                if error:
+                    stats.shadow_errors += 1
+                else:
+                    stats.shadow += 1
+                return
+            stats.served += 1
+            if canary:
+                stats.canary += 1
+            if error:
+                stats.errors += 1
+
+    def record_shadow_forwards(self, forwards: int = 1) -> None:
+        """Account forward passes spent on off-response-path shadow
+        scoring (kept out of ``model_forwards`` so occupancy ratios keep
+        describing the response path)."""
+        with self._lock:
+            self.shadow_forwards += forwards
+
+    @staticmethod
+    def empty_version_entry() -> dict[str, float]:
+        """A zeroed per-version entry (versions with no routed traffic)."""
+        return {
+            "served": 0.0,
+            "canary": 0.0,
+            "shadow": 0.0,
+            "errors": 0.0,
+            "shadow_errors": 0.0,
+        }
+
+    def version_snapshot(self) -> dict[str, dict[str, float]]:
+        """Per-version routing volume: ``served`` (response path),
+        ``canary`` (staged-version slice of it), ``shadow`` (off-path
+        scores), and their error counts."""
+        with self._lock:
+            return {
+                version: {
+                    "served": float(stats.served),
+                    "canary": float(stats.canary),
+                    "shadow": float(stats.shadow),
+                    "errors": float(stats.errors),
+                    "shadow_errors": float(stats.shadow_errors),
+                }
+                for version, stats in sorted(self._versions.items())
+            }
 
     @staticmethod
     def empty_shard_entry() -> dict[str, float]:
@@ -200,6 +285,7 @@ class ServingStats:
                 "batches": float(self.batches),
                 "batch_occupancy": self.batched_requests / self.batches if self.batches else 0.0,
                 "model_forwards": float(self.model_forwards),
+                "shadow_forwards": float(self.shadow_forwards),
                 "requests_per_forward": (
                     self.batched_requests / self.model_forwards if self.model_forwards else 0.0
                 ),

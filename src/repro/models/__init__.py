@@ -18,7 +18,9 @@ from .serialize import (
 )
 from .trainer import (
     TrainResult,
+    feedback_to_tile_records,
     fine_tune,
+    fine_tune_on_feedback,
     predict_fusion_runtimes,
     predict_tile_scores,
     train_fusion_model,
@@ -35,7 +37,9 @@ __all__ = [
     "ModelConfig",
     "TrainConfig",
     "TrainResult",
+    "feedback_to_tile_records",
     "fine_tune",
+    "fine_tune_on_feedback",
     "load_model",
     "load_model_bytes",
     "predict_fusion_runtimes",

@@ -195,6 +195,81 @@ def fine_tune(
     )
 
 
+# ------------------------------------------------- continuous learning
+def feedback_to_tile_records(samples) -> list[TileRecord]:
+    """Convert served-feedback samples into trainable tile records.
+
+    ``samples`` are the joined (prediction, measurement) observations a
+    :class:`~repro.serving.feedback.FeedbackCollector` retains: a tile
+    sample carries the kernel, the candidate tiles the service priced,
+    and the runtimes the (simulated) hardware measured for them. Samples
+    of the same kernel are merged (last measurement wins per tile), so a
+    kernel queried many times contributes one record with its union of
+    measured tiles — exactly the shape :func:`fine_tune` consumes.
+
+    Non-tile samples (kernel/program-runtime traffic) are skipped.
+    """
+    from ..compiler.tiling import TileConfig
+    from ..data.dataset import TileRecord
+    from ..data.features import extract_kernel_features, tile_features
+    from ..serving.feedback import is_tile_sample
+
+    by_kernel: dict[str, tuple] = {}
+    for sample in samples:
+        if not is_tile_sample(sample):
+            continue
+        request = sample.request
+        measured = np.asarray(sample.measured, dtype=np.float64).reshape(-1)
+        if measured.size != len(request.tiles):
+            continue
+        fingerprint = request.kernel.fingerprint()
+        entry = by_kernel.get(fingerprint)
+        if entry is None:
+            entry = (request.kernel, {})
+            by_kernel[fingerprint] = entry
+        _, tile_runtimes = entry
+        for tile, runtime in zip(request.tiles, measured):
+            tile_runtimes[tile.dims] = float(runtime)
+
+    records: list[TileRecord] = []
+    for kernel, tile_runtimes in by_kernel.values():
+        tiles = [TileConfig(dims=dims) for dims in tile_runtimes]
+        records.append(
+            TileRecord(
+                kernel=kernel,
+                features=extract_kernel_features(kernel),
+                tiles=tiles,
+                tile_feats=np.stack([tile_features(t) for t in tiles]),
+                runtimes=np.asarray(list(tile_runtimes.values()), dtype=np.float64),
+                program="feedback",
+                family="feedback",
+            )
+        )
+    return records
+
+
+def fine_tune_on_feedback(
+    result: TrainResult,
+    samples,
+    train: TrainConfig | None = None,
+) -> TrainResult | None:
+    """Fine-tune a tile model on the serving tier's collected feedback.
+
+    The continuous-learning hook: the serving layer collects joined
+    (prediction, measured-runtime) samples while it serves; this turns
+    them into records and runs the standard :func:`fine_tune` short
+    schedule. Returns ``None`` when the samples contain no usable tile
+    observations (the caller then simply skips this retraining round).
+    The resulting checkpoint is *not* published anywhere — the caller
+    stages it through the rollout controller, which is the entire point
+    of the control plane.
+    """
+    records = feedback_to_tile_records(samples)
+    if not records:
+        return None
+    return fine_tune(result, records, train=train)
+
+
 # --------------------------------------------------------------- prediction
 def predict_tile_scores(
     model: LearnedPerformanceModel,

@@ -19,8 +19,26 @@ queried at compile time — becomes a three-layer service boundary here:
 Clients (:class:`ServiceEvaluator` in-process, :class:`SocketEvaluator`
 remote) speak the existing evaluator protocol, so the autotuners run
 against the service unchanged.
+
+On top of the serving path sits the **deployment control plane**
+(:mod:`repro.serving.rollout` + :mod:`repro.serving.feedback`): rollout
+policies (:class:`FullActivation`, :class:`CanaryFraction`,
+:class:`ShadowScore`) choose a version per request in front of the
+per-batch snapshot, a :class:`FeedbackCollector` joins served
+predictions with measured runtimes into per-version accuracy windows,
+and the :class:`RolloutController` promotes or rolls back staged
+checkpoints from that evidence — the continuous-learning loop's
+actuator.
 """
 from .client import EvaluatorClient, ServiceEvaluator, SocketEvaluator
+from .feedback import (
+    FeedbackCollector,
+    FeedbackSample,
+    WindowSnapshot,
+    prediction_error,
+    request_key,
+    tile_measurement,
+)
 from .executors import (
     CommandResult,
     Executor,
@@ -48,17 +66,44 @@ from .protocol import (
 )
 from .registry import ModelRegistry
 from .replica import ReplicaPool, ResultCache, shard_of
+from .rollout import (
+    CANARY,
+    IDLE,
+    PROMOTED,
+    ROLLED_BACK,
+    ROLLOUT_STATES,
+    SHADOW,
+    CanaryFraction,
+    FullActivation,
+    RolloutConfig,
+    RolloutController,
+    RolloutPolicy,
+    RolloutTransition,
+    ShadowScore,
+    regressed_checkpoint,
+    request_unit_hash,
+)
 from .scheduler import MicroBatcher, PendingRequest
 from .service import EXECUTOR_CHOICES, CostModelService, ServiceConfig
 
 __all__ = [
+    "CANARY",
     "EXECUTOR_CHOICES",
+    "IDLE",
     "NEED_KERNEL_PREFIX",
+    "PROMOTED",
+    "ROLLED_BACK",
+    "ROLLOUT_STATES",
+    "SHADOW",
+    "CanaryFraction",
     "CommandResult",
     "CostModelService",
     "EvaluatorClient",
     "Executor",
+    "FeedbackCollector",
+    "FeedbackSample",
     "Frontend",
+    "FullActivation",
     "InProcessFrontend",
     "InThreadExecutor",
     "KernelRuntimeRequest",
@@ -72,19 +117,30 @@ __all__ = [
     "Request",
     "Response",
     "ResultCache",
+    "RolloutConfig",
+    "RolloutController",
+    "RolloutPolicy",
+    "RolloutTransition",
     "ServiceConfig",
     "ServiceEvaluator",
+    "ShadowScore",
     "SocketEvaluator",
     "SocketFrontend",
     "TileCommand",
     "TileScoresRequest",
     "UnknownKernelError",
+    "WindowSnapshot",
     "WireError",
     "WorkerDiedError",
     "decode_request",
     "encode_request",
     "kernel_interner",
+    "prediction_error",
     "recv_frame",
+    "regressed_checkpoint",
+    "request_key",
+    "request_unit_hash",
     "send_frame",
     "shard_of",
+    "tile_measurement",
 ]

@@ -48,19 +48,40 @@ class EvaluatorClient:
 
     Attributes:
         last_response: the most recent :class:`Response` (version stamp,
-            batch occupancy, latency) — what a client inspects to learn
-            which checkpoint priced its query.
+            rollout tags, batch occupancy, latency) — what a client
+            inspects to learn which checkpoint priced its query.
+        version_counts: how many of this client's responses each
+            checkpoint version served — under a canary rollout this is
+            the client-side view of the traffic split (transports fill it
+            via :meth:`_record`).
     """
 
-    last_response: Response | None = None
+    def __init__(self) -> None:
+        self.last_response: Response | None = None
+        self.version_counts: dict[str, int] = {}
 
     def _call(self, request: Request) -> Response:
         raise NotImplementedError
+
+    def _record(self, response: Response) -> Response:
+        """Account one response (transports call this from ``_call``)."""
+        self.last_response = response
+        if response.error is None:
+            self.version_counts[response.model_version] = (
+                self.version_counts.get(response.model_version, 0) + 1
+            )
+        return response
 
     @property
     def model_version(self) -> str | None:
         """Version that served the most recent request (None before any)."""
         return self.last_response.model_version if self.last_response else None
+
+    @property
+    def served_by_canary(self) -> bool:
+        """True when the most recent response came from a staged version
+        under a canary rollout policy."""
+        return bool(self.last_response and self.last_response.canary)
 
     def tile_scores(self, kernel: Kernel, tiles: list[TileConfig]) -> np.ndarray:
         """Rank scores for candidate tiles of one kernel (lower = faster)."""
@@ -105,17 +126,16 @@ class ServiceEvaluator(EvaluatorClient):
     """
 
     def __init__(self, service: CostModelService, timeout_s: float = 60.0) -> None:
+        super().__init__()
         self.service = service
         self.timeout_s = timeout_s
-        self.last_response = None
 
     def _call(self, request: Request) -> Response:
         future = self.service.submit(request)
         if not self.service.is_running:
             self.service.flush()
         response: Response = future.result(timeout=self.timeout_s)
-        self.last_response = response
-        return response
+        return self._record(response)
 
 
 class SocketEvaluator(EvaluatorClient):
@@ -139,9 +159,9 @@ class SocketEvaluator(EvaluatorClient):
     """
 
     def __init__(self, address: tuple[str, int], timeout_s: float = 60.0) -> None:
+        super().__init__()
         self.address = (address[0], int(address[1]))
         self.timeout_s = timeout_s
-        self.last_response = None
         self._ids = itertools.count(1)
         self._known: set[str] = set()
         self._sock = socket.create_connection(self.address, timeout=timeout_s)
@@ -169,8 +189,7 @@ class SocketEvaluator(EvaluatorClient):
             response = self._roundtrip(encode_request(request, known=None))
         if response.error is None:
             self._known.update(request.fingerprints())
-        self.last_response = response
-        return response
+        return self._record(response)
 
     def close(self) -> None:
         """Close the connection; idempotent."""

@@ -19,6 +19,13 @@ Both backends route by the same stable digest-slice shard function, so a
 request lands on the same shard regardless of placement — what makes the
 two backends interchangeable (and bitwise-identical at equal batch
 shape).
+
+Both backends keep a small LRU of **live versions** (``max_live_versions``,
+default 2): a canary/shadow rollout alternates active- and staged-version
+batches every few milliseconds, and serving both from warm state — warm
+replica pools in-thread, per-version evaluators inside each worker
+process — is what makes a rollout cost a version *switch* instead of a
+version *rebuild* per batch.
 """
 from __future__ import annotations
 
@@ -111,6 +118,16 @@ class InThreadExecutor(Executor):
         replicas: shard count — evaluator replicas in the pool.
         max_cached_kernels: per-shard precompute/feature memo bound.
         share_kernel_cache: one precompute cache for all replicas.
+        max_live_versions: warm replica pools kept concurrently (LRU).
+            2 covers a rollout (active + staged) without rebuild thrash.
+        fuse_tile_commands: opt-in cross-kernel fusion — all of a shard's
+            tile commands in one micro-batch execute as a single
+            multi-kernel forward (``score_tile_groups``), the same
+            batching policy the process executor already applies inside
+            each worker. Fusing changes the forward's batch shape, which
+            moves scores only at float32 BLAS rounding level; a batch
+            holding a single tile command per shard keeps its exact
+            batch shape and stays bitwise-identical to the unfused path.
     """
 
     def __init__(
@@ -119,30 +136,83 @@ class InThreadExecutor(Executor):
         replicas: int = 1,
         max_cached_kernels: int = 1024,
         share_kernel_cache: bool = True,
+        max_live_versions: int = 2,
+        fuse_tile_commands: bool = False,
     ) -> None:
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
+        if max_live_versions < 1:
+            raise ValueError("max_live_versions must be >= 1")
         self.registry = registry
         self.num_shards = replicas
         self.max_cached_kernels = max_cached_kernels
         self.share_kernel_cache = share_kernel_cache
-        self._pool: ReplicaPool | None = None
+        self.max_live_versions = max_live_versions
+        self.fuse_tile_commands = fuse_tile_commands
+        # Guards _pools: the serving thread LRU-touches it every batch
+        # while metrics scrapes iterate it from other threads.
+        self._pools_lock = threading.Lock()
+        self._pools: OrderedDict[str, ReplicaPool] = OrderedDict()
 
     def _pool_for(self, version: str) -> ReplicaPool:
-        if self._pool is None or self._pool.version != version:
-            self._pool = ReplicaPool(
-                self.registry.get(version),
-                version,
-                replicas=self.num_shards,
-                max_cached_kernels=self.max_cached_kernels,
-                share_kernel_cache=self.share_kernel_cache,
-            )
-        return self._pool
+        with self._pools_lock:
+            pool = self._pools.get(version)
+            if pool is not None:
+                lru_touch(self._pools, version, pool, self.max_live_versions)
+                return pool
+        # Build outside the lock (deserializing a checkpoint is slow and
+        # must not block metrics); a racing builder of the same version
+        # just wastes one construction.
+        pool = ReplicaPool(
+            self.registry.get(version),
+            version,
+            replicas=self.num_shards,
+            max_cached_kernels=self.max_cached_kernels,
+            share_kernel_cache=self.share_kernel_cache,
+        )
+        with self._pools_lock:
+            existing = self._pools.get(version)
+            if existing is not None:
+                pool = existing
+            lru_touch(self._pools, version, pool, self.max_live_versions)
+            return pool
+
+    def _run_fused_tiles(
+        self,
+        pool: ReplicaPool,
+        commands: list[Command],
+        results: list[CommandResult | None],
+    ) -> None:
+        """Execute all tile commands, one fused forward per shard."""
+        by_shard: dict[int, list[int]] = {}
+        for index, command in enumerate(commands):
+            if isinstance(command, TileCommand):
+                by_shard.setdefault(command.shard, []).append(index)
+        for shard, indices in by_shard.items():
+            evaluator = pool.replicas[shard]
+            groups = [
+                (commands[i].kernel, list(commands[i].tiles)) for i in indices
+            ]
+            try:
+                arrays = evaluator.score_tile_groups(groups)
+                for position, (index, value) in enumerate(zip(indices, arrays)):
+                    results[index] = CommandResult(
+                        value=np.asarray(value),
+                        forwards=1 if position == 0 else 0,
+                    )
+            except Exception:
+                message = traceback.format_exc()
+                for index in indices:
+                    results[index] = CommandResult(error=message)
 
     def run(self, version: str, commands: list[Command]) -> list[CommandResult]:
         pool = self._pool_for(version)
-        results: list[CommandResult] = []
-        for command in commands:
+        results: list[CommandResult | None] = [None] * len(commands)
+        if self.fuse_tile_commands:
+            self._run_fused_tiles(pool, commands, results)
+        for index, command in enumerate(commands):
+            if results[index] is not None:
+                continue
             evaluator = pool.replicas[command.shard]
             try:
                 if isinstance(command, TileCommand):
@@ -153,20 +223,29 @@ class InThreadExecutor(Executor):
                     value = evaluator.program_runtimes_batched(
                         [list(kernels) for kernels in command.programs]
                     )
-                results.append(CommandResult(value=np.asarray(value)))
+                results[index] = CommandResult(value=np.asarray(value))
             except Exception:
-                results.append(CommandResult(error=traceback.format_exc()))
+                results[index] = CommandResult(error=traceback.format_exc())
         return results
 
     def stats(self) -> dict:
-        if self._pool is None:
-            return {}
-        return self._pool.stats()
+        with self._pools_lock:
+            pools = list(self._pools.values())
+        total: dict[str, int] = {}
+        for pool in pools:
+            for key, value in pool.stats().items():
+                total[key] = total.get(key, 0) + value
+        total["live_versions"] = len(pools)
+        return total
 
     def shard_stats(self) -> list[dict]:
+        with self._pools_lock:
+            # Most-recently-used pool = the version that served last.
+            current = next(reversed(self._pools)) if self._pools else None
+            live = len(self._pools)
         return [
             {"shard": i, "placement": "thread", "alive": True,
-             "version": self._pool.version if self._pool else None}
+             "version": current, "live_versions": live}
             for i in range(self.num_shards)
         ]
 
@@ -178,12 +257,17 @@ class _Shard:
     index: int
     process: object = None
     conn: object = None
+    #: Version the worker's *current* evaluator serves.
     version: str | None = None
     restarts: int = 0
     commands: int = 0
     #: Fingerprints the worker currently interns — steady-state requests
     #: for these ship without the (re-pickled) kernel graph attached.
     known: OrderedDict = field(default_factory=OrderedDict)
+    #: Versions the worker holds a warm evaluator for (parent-side mirror
+    #: of the worker's per-version LRU); switching to one of these is a
+    #: cheap ``use`` message instead of a blob reload.
+    loaded: OrderedDict = field(default_factory=OrderedDict)
     lock: threading.Lock = field(default_factory=threading.Lock)
 
 
@@ -207,6 +291,10 @@ class ProcessShardExecutor(Executor):
             faster to boot but inherits the parent's thread state.
         request_timeout_s: per-message reply deadline before a worker is
             declared dead and respawned.
+        max_live_versions: warm per-version evaluators each worker keeps
+            (LRU). 2 covers a rollout (active + staged): alternating
+            versions between micro-batches costs a one-word ``use``
+            message instead of re-shipping and re-deserializing the blob.
 
     Workers are lazy: nothing is spawned until the first :meth:`run`, so
     constructing a service with this backend is cheap. Version sync is
@@ -235,13 +323,17 @@ class ProcessShardExecutor(Executor):
         max_cached_kernels: int = 1024,
         start_method: str = "spawn",
         request_timeout_s: float = 120.0,
+        max_live_versions: int = 2,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        if max_live_versions < 1:
+            raise ValueError("max_live_versions must be >= 1")
         self.registry = registry
         self.num_shards = shards
         self.max_cached_kernels = max_cached_kernels
         self.request_timeout_s = request_timeout_s
+        self.max_live_versions = max_live_versions
         self._ctx = multiprocessing.get_context(start_method)
         self._shards = [_Shard(index=i) for i in range(shards)]
         self._closed = False
@@ -264,7 +356,7 @@ class ProcessShardExecutor(Executor):
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
             target=shard_worker,
-            args=(child_conn, self.max_cached_kernels),
+            args=(child_conn, self.max_cached_kernels, self.max_live_versions),
             name=f"cost-model-shard-{shard.index}",
             daemon=True,
         )
@@ -274,6 +366,7 @@ class ProcessShardExecutor(Executor):
         shard.conn = parent_conn
         shard.version = None
         shard.known.clear()
+        shard.loaded.clear()
 
     def _recv_locked(self, shard: _Shard):
         """Await one reply; raises on a dead or hung worker."""
@@ -294,6 +387,7 @@ class ProcessShardExecutor(Executor):
         fresh process and a fresh pipe.
         """
         shard.version = None
+        shard.loaded.clear()
         if shard.process is not None and shard.process.is_alive():
             shard.process.terminate()
             shard.process.join(timeout=5)
@@ -304,12 +398,27 @@ class ProcessShardExecutor(Executor):
         return self._recv_locked(shard)
 
     def _sync_locked(self, shard: _Shard, version: str) -> None:
-        """Bring ``shard`` onto ``version``, respawning if needed."""
+        """Bring ``shard`` onto ``version``, respawning if needed.
+
+        A version the worker already holds a warm evaluator for switches
+        with a ``use`` message (no blob, no deserialize) — the fast path
+        a rollout's per-batch version alternation rides on. A ``use``
+        miss (the worker's per-version LRU evicted it) falls back to a
+        full blob load, exactly like a kernel-interning miss.
+        """
         alive = shard.process is not None and shard.process.is_alive()
         if alive and shard.version == version:
             return
         if not alive:
             self._spawn_locked(shard)
+        if version in shard.loaded:
+            reply = self._request_locked(shard, ("use", version))
+            if reply[0] == "ok":
+                shard.version = version
+                lru_touch(shard.loaded, version, True, self.max_live_versions)
+                return
+            # Worker-side eviction (or an older worker): reload in full.
+            shard.loaded.pop(version, None)
         blob = self.registry.blob(version)
         reply = self._request_locked(shard, ("load", version, blob))
         if reply[0] != "ok":
@@ -317,6 +426,7 @@ class ProcessShardExecutor(Executor):
                 f"shard {shard.index} failed to load {version}: {reply[1]}"
             )
         shard.version = version
+        lru_touch(shard.loaded, version, True, self.max_live_versions)
 
     def _remember_known_locked(self, shard: _Shard, fingerprint: str) -> None:
         lru_touch(shard.known, fingerprint, True, self.max_cached_kernels)
@@ -637,6 +747,7 @@ class ProcessShardExecutor(Executor):
                 "restarts": shard.restarts,
                 "commands": shard.commands,
                 "known_kernels": len(shard.known),
+                "live_versions": len(shard.loaded),
             }
             for shard in self._shards
         ]

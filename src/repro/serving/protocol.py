@@ -302,12 +302,18 @@ class Response:
             requests) or a float (kernel-runtime requests).
         model_version: registry version of the checkpoint that produced
             ``value`` — one version per response, always (hot swaps apply
-            between batches, never inside one).
+            between batches, never inside one). Under a canary rollout
+            this is the *routed* version, staged or active.
         batch_size: number of coalesced requests in the executed
             micro-batch ('1' for cache hits), for occupancy accounting.
         cache_hit: served from the shared result cache without a forward.
         latency_s: submit-to-resolution wall time.
         error: traceback string when the request failed; ``value`` is None.
+        canary: served by a staged version under a canary rollout policy
+            (``model_version`` then names the staged checkpoint).
+        shadowed_by: staged version that additionally scored this request
+            off the response path (shadow rollout), or ``None``. The
+            shadow score never appears in ``value``.
     """
 
     value: np.ndarray | float | None
@@ -316,6 +322,8 @@ class Response:
     cache_hit: bool = False
     latency_s: float = 0.0
     error: str | None = None
+    canary: bool = False
+    shadowed_by: str | None = None
 
     def unwrap(self) -> np.ndarray | float:
         """The value, raising ``RuntimeError`` if the request failed."""
@@ -350,6 +358,8 @@ class Response:
                 "cache_hit": self.cache_hit,
                 "latency_s": self.latency_s,
                 "error": self.error,
+                "canary": self.canary,
+                "shadowed_by": self.shadowed_by,
             }
         ).encode()
         return struct.pack(">I", len(header)) + header + payload
@@ -378,6 +388,10 @@ class Response:
                 cache_hit=header["cache_hit"],
                 latency_s=header["latency_s"],
                 error=header["error"],
+                # .get(): rollout tags are optional on the wire, so frames
+                # from a pre-rollout peer still decode.
+                canary=bool(header.get("canary", False)),
+                shadowed_by=header.get("shadowed_by"),
             )
         except WireError:
             raise

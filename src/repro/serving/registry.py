@@ -14,6 +14,14 @@ Activation is a single reference swap under a lock: the service snapshots
 the active version once per micro-batch, so an in-flight batch keeps the
 checkpoint it started with and a swap never mixes two checkpoints inside
 one response.
+
+Staged-version lifecycle (the deployment control plane's half of the
+contract): :meth:`stage` marks one version as *staged* — published,
+shippable to executors, but never serving unless a rollout policy
+explicitly routes to it. The staged marker survives spill/load, is
+cleared by a rollback (:meth:`clear_staged`) or consumed by promotion
+(:meth:`activate` of the staged version), and — like the active version —
+is exempt from retention pruning.
 """
 from __future__ import annotations
 
@@ -44,14 +52,27 @@ class ModelRegistry:
     names them. Deserialized checkpoints are memoized per version, so
     repeated :meth:`get` calls (every replica-pool rebuild) pay the npz
     decode once.
+
+    Args:
+        retain: keep at most this many published versions; publishing
+            past the bound drops the oldest versions that are neither
+            active nor staged (a continuous-learning loop publishes
+            forever — the registry must not grow forever with it).
+            ``None`` (default) disables pruning.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, retain: int | None = None) -> None:
+        if retain is not None and retain < 2:
+            # Active + staged can coexist; a bound of 1 would have to
+            # drop one of them.
+            raise ValueError("retain must be >= 2 (or None)")
         self._lock = threading.Lock()
+        self._retain = retain
         self._blobs: dict[str, bytes] = {}
         self._materialized: dict[str, TrainResult] = {}
         self._order: list[str] = []
         self._active: str | None = None
+        self._staged: str | None = None
         self._counter = 0
 
     def publish(
@@ -59,6 +80,7 @@ class ModelRegistry:
         result: TrainResult | bytes,
         version: str | None = None,
         activate: bool = True,
+        stage: bool = False,
     ) -> str:
         """Store a checkpoint; returns its version string.
 
@@ -71,6 +93,10 @@ class ModelRegistry:
                 untouched — including ``None`` on a fresh registry (staged
                 checkpoints never serve before an explicit
                 :meth:`activate`).
+            stage: mark the new version as *staged* (mutually exclusive
+                with ``activate``). The marker is set inside the same
+                locked section as retention pruning, so a freshly staged
+                version can never be its own retention victim.
 
         Raises:
             ValueError: if ``version`` is already taken or not a
@@ -79,6 +105,8 @@ class ModelRegistry:
                 validation (a garbage blob is rejected at publish time,
                 not when a worker tries to serve it).
         """
+        if activate and stage:
+            raise ValueError("a version cannot be both active and staged")
         if isinstance(result, bytes):
             validate_model_blob(result)
             blob = result
@@ -103,24 +131,111 @@ class ModelRegistry:
             self._order.append(version)
             if activate:
                 self._active = version
+                if self._staged == version:
+                    self._staged = None
+            if stage:
+                self._staged = version
             self._prune_materialized_locked()
+            self._prune_retention_locked()
         return version
 
     def activate(self, version: str) -> None:
-        """Atomically make ``version`` the active checkpoint."""
+        """Atomically make ``version`` the active checkpoint.
+
+        Activating the staged version consumes the staged marker — that
+        *is* a promotion.
+        """
         with self._lock:
             if version not in self._blobs:
                 raise KeyError(f"unknown model version {version!r}")
             self._active = version
+            if self._staged == version:
+                self._staged = None
             self._prune_materialized_locked()
+            self._prune_retention_locked()
+
+    # ------------------------------------------------------------------ #
+    # staged-version lifecycle
+    # ------------------------------------------------------------------ #
+
+    def stage(
+        self,
+        result: TrainResult | bytes | str,
+        version: str | None = None,
+    ) -> str:
+        """Publish (without activating) and mark a checkpoint as staged.
+
+        Args:
+            result: a :class:`TrainResult`, pre-serialized blob bytes, or
+                the name of an **already published** version to stage.
+            version: explicit version name when publishing.
+
+        Returns the staged version string. Staging replaces any previous
+        staged marker (the old staged version stays published but loses
+        its pruning exemption).
+        """
+        if isinstance(result, str):
+            if version is not None and version != result:
+                raise ValueError("cannot rename an already-published version")
+            with self._lock:
+                if result not in self._blobs:
+                    raise KeyError(f"unknown model version {result!r}")
+                if result == self._active:
+                    raise ValueError(
+                        f"version {result!r} is active; a version cannot be "
+                        "both active and staged"
+                    )
+                self._staged = result
+                return result
+        return self.publish(result, version=version, activate=False, stage=True)
+
+    def clear_staged(self) -> None:
+        """Drop the staged marker (a rollback); the blob stays published
+        until retention prunes it."""
+        with self._lock:
+            self._staged = None
+            self._prune_materialized_locked()
+            self._prune_retention_locked()
+
+    @property
+    def staged_version(self) -> str | None:
+        """The currently staged version (``None`` when nothing is staged)."""
+        with self._lock:
+            return self._staged
 
     def _prune_materialized_locked(self) -> None:
-        """Drop deserialized models of non-active versions (the blobs can
-        rebuild them on demand) so a long publish/swap history doesn't pin
-        every old checkpoint's parameters in memory."""
+        """Drop deserialized models of versions that are neither active
+        nor staged (the blobs can rebuild them on demand) so a long
+        publish/swap history doesn't pin every old checkpoint's
+        parameters in memory. Active *and* staged stay warm — a live
+        rollout serves both concurrently."""
+        keep = {self._active, self._staged}
         for version in list(self._materialized):
-            if version != self._active:
+            if version not in keep:
                 del self._materialized[version]
+
+    def _prune_retention_locked(self) -> None:
+        """Enforce the retention bound, never touching active or staged."""
+        if self._retain is None:
+            return
+        while len(self._order) > self._retain:
+            victim = next(
+                (
+                    v
+                    for v in self._order
+                    if v != self._active and v != self._staged
+                ),
+                None,
+            )
+            if victim is None:
+                return
+            self._order.remove(victim)
+            del self._blobs[victim]
+            self._materialized.pop(victim, None)
+
+    def __contains__(self, version: str) -> bool:
+        with self._lock:
+            return version in self._blobs
 
     @property
     def active_version(self) -> str | None:
@@ -164,9 +279,10 @@ class ModelRegistry:
         """Write every checkpoint + a manifest to ``directory``.
 
         Each version lands as ``<version>.ckpt`` holding its exact blob
-        bytes; ``manifest.json`` records publication order and the active
-        version. Re-spilling over an existing directory overwrites —
-        version blobs are immutable, so this is idempotent.
+        bytes; ``manifest.json`` records publication order, the active
+        version, and the staged version. Re-spilling over an existing
+        directory overwrites — version blobs are immutable, so this is
+        idempotent.
 
         Returns:
             The directory written.
@@ -177,20 +293,21 @@ class ModelRegistry:
             blobs = dict(self._blobs)
             order = list(self._order)
             active = self._active
+            staged = self._staged
         for version, blob in blobs.items():
             (directory / f"{version}{_BLOB_SUFFIX}").write_bytes(blob)
-        manifest = {"versions": order, "active": active}
+        manifest = {"versions": order, "active": active, "staged": staged}
         (directory / _MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
         return directory
 
     @classmethod
-    def load(cls, directory: str | Path) -> "ModelRegistry":
+    def load(cls, directory: str | Path, retain: int | None = None) -> "ModelRegistry":
         """Restore a registry spilled by :meth:`spill`, byte-identically.
 
         Every blob is integrity-checked on the way in (typed
         ``ModelBlobError`` on truncation/corruption), the publication
-        order and active version are restored, and auto-numbering resumes
-        past the highest reloaded ``vN``.
+        order, active version, and staged marker are restored, and
+        auto-numbering resumes past the highest reloaded ``vN``.
 
         Raises:
             FileNotFoundError: no manifest (or a missing version file).
@@ -198,10 +315,24 @@ class ModelRegistry:
         """
         directory = Path(directory)
         manifest = json.loads((directory / _MANIFEST_NAME).read_text())
+        # Retention is applied only after the active/staged markers are
+        # restored — pruning mid-load could otherwise evict the very
+        # version the manifest is about to activate.
         registry = cls()
         for version in manifest["versions"]:
             blob = (directory / f"{version}{_BLOB_SUFFIX}").read_bytes()
             registry.publish(blob, version=version, activate=False)
         if manifest["active"] is not None:
             registry.activate(manifest["active"])
+        # .get(): manifests written before the control plane carry no
+        # staged marker.
+        staged = manifest.get("staged")
+        if staged is not None:
+            registry.stage(staged)
+        if retain is not None:
+            if retain < 2:
+                raise ValueError("retain must be >= 2 (or None)")
+            with registry._lock:
+                registry._retain = retain
+                registry._prune_retention_locked()
         return registry

@@ -34,11 +34,19 @@ from .protocol import Request
 
 @dataclass
 class PendingRequest:
-    """One queued request: payload, arrival time, and its future."""
+    """One queued request: payload, arrival time, and its future.
+
+    ``routed_version`` / ``shadowed_by`` are stamped at batch-execution
+    time by the service's rollout version chooser (the policy in front of
+    the per-batch snapshot), so the executor split and the response tags
+    always agree — a canary batch is version-pure by construction.
+    """
 
     request: Request
     enqueued_at: float
     future: Future = field(default_factory=Future, repr=False)
+    routed_version: str | None = None
+    shadowed_by: str | None = None
 
 
 class MicroBatcher:

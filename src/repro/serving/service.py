@@ -25,12 +25,21 @@ reduced to as few coalesced forwards as possible:
 * program-population requests are merged into one
   ``program_runtimes_batched`` call over the concatenated populations.
 
-Model selection is snapshotted **once per micro-batch**: a registry hot
-swap (:meth:`ModelRegistry.activate`) takes effect at the next batch cut,
-so in-flight requests are never dropped and no response ever mixes two
-checkpoints. Each response is stamped with the version that produced it.
-The executor syncs its shards to the snapshot before they execute, which
+Model selection is snapshotted **once per micro-batch**, through the
+deployment control plane's version chooser: the active
+:class:`~repro.serving.rollout.RolloutPolicy` names a version per request,
+the batch is partitioned by chosen version, and every partition executes
+as its own **version-pure** batch — so a registry hot swap
+(:meth:`ModelRegistry.activate`) still takes effect at the next batch
+cut, in-flight requests are never dropped, and no response (and no
+executed batch) ever mixes two checkpoints, canary traffic included.
+Each response is stamped with the version that produced it. The executor
+syncs its shards to each partition's version before it executes, which
 extends the same guarantee across process boundaries.
+
+With the default :class:`~repro.serving.rollout.FullActivation` policy
+the partition step degenerates to the single active-version batch of
+PR 2/3 — identical commands, identical order, identical numerics.
 
 The service runs either with a background worker thread (:meth:`start`,
 for genuinely concurrent clients) or fully synchronously
@@ -56,6 +65,7 @@ from .executors import (
     ProgramCommand,
     TileCommand,
 )
+from .feedback import FeedbackCollector, request_key
 from .protocol import (
     KernelRuntimeRequest,
     ProgramRuntimesRequest,
@@ -65,6 +75,7 @@ from .protocol import (
 )
 from .registry import ModelRegistry
 from .replica import ResultCache
+from .rollout import FullActivation, RolloutPolicy
 from .scheduler import MicroBatcher, PendingRequest
 
 EXECUTOR_CHOICES = ("thread", "process")
@@ -96,6 +107,14 @@ class ServiceConfig:
         share_kernel_cache: one precompute cache for all in-thread
             replicas (ignored by the ``process`` executor — worker caches
             are per-process by construction).
+        max_live_versions: warm checkpoint versions each executor keeps
+            concurrently (2 = active + staged, the rollout pair).
+        fuse_tile_commands: opt-in cross-kernel fused forwards for the
+            ``thread`` executor — a micro-batch's tile commands on one
+            shard execute as a single multi-kernel forward (the batching
+            policy the ``process`` executor already applies per worker).
+            Changes batch shape, so scores move at float32 BLAS rounding
+            level versus the per-kernel-forward default.
     """
 
     max_batch_size: int = 64
@@ -107,6 +126,8 @@ class ServiceConfig:
     max_cached_kernels: int = 1024
     result_cache_entries: int = 4096
     share_kernel_cache: bool = True
+    max_live_versions: int = 2
+    fuse_tile_commands: bool = False
 
 
 class CostModelService:
@@ -120,6 +141,15 @@ class CostModelService:
         executor: a pre-built execution backend; overrides the
             ``config.executor`` choice (dependency injection for tests
             and custom placements).
+        rollout: the deployment control plane's version chooser; defaults
+            to :class:`~repro.serving.rollout.FullActivation` (serve the
+            active version, exactly the pre-rollout behaviour). Swap at
+            runtime with :meth:`set_rollout` — takes effect at the next
+            batch cut, like a registry hot swap.
+        feedback: optional :class:`~repro.serving.feedback.FeedbackCollector`;
+            when attached, every served (and shadow-scored) prediction is
+            recorded for joining with measured runtimes — the signal the
+            rollout controller promotes and rolls back on.
 
     Responses hand out cached arrays by reference; clients must treat
     response values as read-only.
@@ -130,6 +160,8 @@ class CostModelService:
         source: ModelRegistry | TrainResult,
         config: ServiceConfig | None = None,
         executor: Executor | None = None,
+        rollout: RolloutPolicy | None = None,
+        feedback: FeedbackCollector | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
         if isinstance(source, ModelRegistry):
@@ -146,6 +178,9 @@ class CostModelService:
         )
         self.result_cache = ResultCache(self.config.result_cache_entries)
         self.stats = ServingStats()
+        self.feedback = feedback
+        self._rollout = rollout or FullActivation()
+        self._rollout_lock = threading.Lock()
         self.executor = executor or self._build_executor()
         self._exec_lock = threading.Lock()
         self._thread: threading.Thread | None = None
@@ -158,6 +193,8 @@ class CostModelService:
                 replicas=self.config.replicas,
                 max_cached_kernels=self.config.max_cached_kernels,
                 share_kernel_cache=self.config.share_kernel_cache,
+                max_live_versions=self.config.max_live_versions,
+                fuse_tile_commands=self.config.fuse_tile_commands,
             )
         if self.config.executor == "process":
             return ProcessShardExecutor(
@@ -165,11 +202,51 @@ class CostModelService:
                 shards=self.config.replicas,
                 max_cached_kernels=self.config.max_cached_kernels,
                 start_method=self.config.executor_start_method,
+                max_live_versions=self.config.max_live_versions,
             )
         raise ValueError(
             f"unknown executor {self.config.executor!r}; "
             f"choose from {EXECUTOR_CHOICES}"
         )
+
+    # ------------------------------------------------------------------ #
+    # rollout control plane
+    # ------------------------------------------------------------------ #
+
+    def set_rollout(self, policy: RolloutPolicy) -> None:
+        """Install a rollout policy; applies from the next batch cut."""
+        with self._rollout_lock:
+            self._rollout = policy
+
+    def get_rollout(self) -> RolloutPolicy:
+        """The policy currently in force."""
+        with self._rollout_lock:
+            return self._rollout
+
+    def _route(self, policy: RolloutPolicy, request: Request, active: str) -> str:
+        """The validated response-path version for one request."""
+        try:
+            version = policy.route(request, active)
+        except Exception:
+            return active
+        if version != active and version not in self.registry:
+            # The staged version vanished mid-flight (rolled back and
+            # retention-pruned): degrade to the active version rather
+            # than failing the request.
+            return active
+        return version
+
+    def _shadow_target(
+        self, policy: RolloutPolicy, request: Request, active: str, routed: str
+    ) -> str | None:
+        """The validated off-response-path shadow version, if any."""
+        try:
+            shadow = policy.shadow(request, active)
+        except Exception:
+            return None
+        if shadow is None or shadow == routed or shadow not in self.registry:
+            return None
+        return shadow
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -217,9 +294,13 @@ class CostModelService:
         """Enqueue a request; returns a Future resolving to a Response.
 
         Repeated identical requests are answered straight from the shared
-        result cache without queueing (latency ~0, no forward).
+        result cache without queueing (latency ~0, no forward). The cache
+        lookup follows the rollout routing — a canary-routed request only
+        ever hits the staged version's cache slice, so cached responses
+        obey the same version-purity as executed ones.
         """
-        version = self.registry.active_version
+        active = self.registry.active_version
+        version = self._route(self.get_rollout(), request, active)
         try:
             key = request.cache_key()
         except Exception:
@@ -230,9 +311,14 @@ class CostModelService:
             cached = self.result_cache.get((version, key))
             if cached is not None:
                 response = Response(
-                    value=cached, model_version=version, batch_size=1, cache_hit=True
+                    value=cached,
+                    model_version=version,
+                    batch_size=1,
+                    cache_hit=True,
+                    canary=version != active,
                 )
                 self.stats.record_response(0.0, cache_hit=True)
+                self.stats.record_route(version, canary=version != active)
                 future: Future = Future()
                 future.set_result(response)
                 return future
@@ -259,7 +345,10 @@ class CostModelService:
         Flat float counters from :class:`ServingStats` and the caches,
         plus ``per_shard`` — a per-shard breakdown merging the service's
         routing stats (requests, forwards, latency tails) with the
-        executor's placement/liveness details.
+        executor's placement/liveness details — and ``per_version`` —
+        per-checkpoint routing volume (served/canary/shadow/errors)
+        merged with the feedback collector's online accuracy windows,
+        the control plane's observable surface.
         """
         snapshot = self.stats.snapshot()
         snapshot.update(
@@ -279,7 +368,18 @@ class CostModelService:
                 {k: v for k, v in detail.items() if k != "shard"}
             )
         snapshot["per_shard"] = per_shard
+        per_version = self.stats.version_snapshot()
+        if self.feedback is not None:
+            for version, window in self.feedback.snapshot()["versions"].items():
+                entry = per_version.setdefault(
+                    version, ServingStats.empty_version_entry()
+                )
+                entry.update(window)
+        snapshot["per_version"] = per_version
+        policy = self.get_rollout()
+        snapshot["rollout"] = policy.describe()
         snapshot["active_version"] = self.registry.active_version
+        snapshot["staged_version"] = self.registry.staged_version
         snapshot["executor"] = type(self.executor).__name__
         snapshot["replicas"] = float(self.executor.num_shards)
         snapshot["pending"] = float(len(self.scheduler))
@@ -311,103 +411,221 @@ class CostModelService:
                 self._resolve_error(pending, version, message)
 
     def _execute(self, batch: list[PendingRequest]) -> None:
-        """Run one micro-batch: group, execute, split, resolve, account."""
+        """Run one micro-batch through the version chooser.
+
+        The rollout policy names a response-path version per request; the
+        batch is partitioned by that choice and each partition executes
+        as its own version-pure batch (the canary invariant). Shadow
+        assignments execute *after* every response future has resolved —
+        off the response path by construction.
+        """
         with self._exec_lock:
-            # Checkpoint snapshot for the whole batch — the hot-swap
-            # atomicity guarantee lives on this line. The executor syncs
-            # its shards to this version before any of them executes.
-            version = self.registry.active_version
-
-            tile_groups: dict[tuple[int, str], list[PendingRequest]] = {}
-            runtime_groups: dict[int, list[PendingRequest]] = {}
-            program_groups: dict[int, list[PendingRequest]] = {}
+            policy = self.get_rollout()
+            active = self.registry.active_version
+            groups: dict[str, list[PendingRequest]] = {}
+            shadow_groups: dict[str, list[PendingRequest]] = {}
             for pending in batch:
-                request = pending.request
+                version = self._route(policy, pending.request, active)
+                shadow = self._shadow_target(
+                    policy, pending.request, active, version
+                )
+                pending.routed_version = version
+                pending.shadowed_by = shadow
+                groups.setdefault(version, []).append(pending)
+                if shadow is not None:
+                    shadow_groups.setdefault(shadow, []).append(pending)
+            total_forwards = 0
+            for version, sub_batch in groups.items():
                 try:
-                    # A malformed request (e.g. fingerprinting raises) must
-                    # fail alone, not take its co-batched neighbours down.
-                    shard = self.executor.shard_for(request.shard_key())
-                    if isinstance(request, TileScoresRequest):
-                        key = (shard, request.kernel.fingerprint())
-                        tile_groups.setdefault(key, []).append(pending)
-                    elif isinstance(request, KernelRuntimeRequest):
-                        runtime_groups.setdefault(shard, []).append(pending)
-                    elif isinstance(request, ProgramRuntimesRequest):
-                        program_groups.setdefault(shard, []).append(pending)
-                    else:
-                        self._resolve_error(
-                            pending,
-                            version,
-                            f"unknown request type {type(request).__name__}",
-                        )
-                except Exception:
-                    self._resolve_error(pending, version, traceback.format_exc())
-
-            commands = []
-            groups: list[tuple[str, int, list[PendingRequest]]] = []
-            for (shard, _), group in tile_groups.items():
-                merged = tuple(t for p in group for t in p.request.tiles)
-                commands.append(
-                    TileCommand(shard=shard, kernel=group[0].request.kernel, tiles=merged)
-                )
-                groups.append(("tiles", shard, group))
-            for shard, group in runtime_groups.items():
-                commands.append(
-                    ProgramCommand(
-                        shard=shard,
-                        programs=tuple((p.request.kernel,) for p in group),
+                    total_forwards += self._execute_version(
+                        version, sub_batch, canary=version != active
                     )
-                )
-                groups.append(("runtimes", shard, group))
-            for shard, group in program_groups.items():
-                merged_programs = tuple(
-                    tuple(kernels) for p in group for kernels in p.request.programs
-                )
-                commands.append(ProgramCommand(shard=shard, programs=merged_programs))
-                groups.append(("programs", shard, group))
+                except Exception:
+                    # The routed version can vanish between the _route
+                    # check and execution (rolled back + retention-pruned
+                    # by a concurrent publish): honor the degrade-to-
+                    # active contract instead of failing the sub-batch.
+                    # _resolve/_resolve_error skip already-done futures,
+                    # so a partial first attempt retries safely.
+                    if version != active and version not in self.registry:
+                        try:
+                            total_forwards += self._execute_version(
+                                active, sub_batch, canary=False
+                            )
+                            continue
+                        except Exception:
+                            version = active
+                    message = traceback.format_exc()
+                    for pending in sub_batch:
+                        self._resolve_error(pending, version, message)
+            self.stats.record_batch(len(batch), total_forwards)
+            for version, sub_batch in shadow_groups.items():
+                self._execute_shadow(version, sub_batch)
 
-            results = self.executor.run(version, commands) if commands else []
+    def _build_commands(self, batch: list[PendingRequest], on_malformed=None):
+        """Coalesce a version-pure batch into shard-annotated commands.
 
-            forwards = 0
-            for (kind, shard, group), result in zip(groups, results):
-                if result.error is not None:
-                    for pending in group:
-                        self._resolve_error(pending, version, result.error, shard)
-                    continue
-                # Executors report what each command actually cost: a
-                # command fused into another's forward reports 0.
-                forwards += result.forwards
-                self.stats.record_shard(shard, forwards=result.forwards)
-                value = result.value
+        Returns ``(commands, groups)`` where ``groups[i]`` is the
+        ``(kind, shard, pendings)`` slice answered by ``commands[i]``.
+        Malformed requests (e.g. fingerprinting raises) are reported to
+        ``on_malformed(pending, message)`` and excluded — they must fail
+        alone, not take their co-batched neighbours down.
+        """
+        tile_groups: dict[tuple[int, str], list[PendingRequest]] = {}
+        runtime_groups: dict[int, list[PendingRequest]] = {}
+        program_groups: dict[int, list[PendingRequest]] = {}
+        for pending in batch:
+            request = pending.request
+            try:
+                shard = self.executor.shard_for(request.shard_key())
+                if isinstance(request, TileScoresRequest):
+                    key = (shard, request.kernel.fingerprint())
+                    tile_groups.setdefault(key, []).append(pending)
+                elif isinstance(request, KernelRuntimeRequest):
+                    runtime_groups.setdefault(shard, []).append(pending)
+                elif isinstance(request, ProgramRuntimesRequest):
+                    program_groups.setdefault(shard, []).append(pending)
+                elif on_malformed is not None:
+                    on_malformed(
+                        pending,
+                        f"unknown request type {type(request).__name__}",
+                    )
+            except Exception:
+                if on_malformed is not None:
+                    on_malformed(pending, traceback.format_exc())
+
+        commands = []
+        groups: list[tuple[str, int, list[PendingRequest]]] = []
+        for (shard, _), group in tile_groups.items():
+            merged = tuple(t for p in group for t in p.request.tiles)
+            commands.append(
+                TileCommand(shard=shard, kernel=group[0].request.kernel, tiles=merged)
+            )
+            groups.append(("tiles", shard, group))
+        for shard, group in runtime_groups.items():
+            commands.append(
+                ProgramCommand(
+                    shard=shard,
+                    programs=tuple((p.request.kernel,) for p in group),
+                )
+            )
+            groups.append(("runtimes", shard, group))
+        for shard, group in program_groups.items():
+            merged_programs = tuple(
+                tuple(kernels) for p in group for kernels in p.request.programs
+            )
+            commands.append(ProgramCommand(shard=shard, programs=merged_programs))
+            groups.append(("programs", shard, group))
+        return commands, groups
+
+    def _execute_version(
+        self, version: str, batch: list[PendingRequest], canary: bool
+    ) -> int:
+        """Run one version-pure batch: group, execute, split, resolve.
+
+        Returns the number of model forwards spent.
+        """
+        commands, groups = self._build_commands(
+            batch,
+            on_malformed=lambda pending, message: self._resolve_error(
+                pending, version, message
+            ),
+        )
+        results = self.executor.run(version, commands) if commands else []
+
+        forwards = 0
+        for (kind, shard, group), result in zip(groups, results):
+            if result.error is not None:
+                for pending in group:
+                    self._resolve_error(pending, version, result.error, shard)
+                continue
+            # Executors report what each command actually cost: a
+            # command fused into another's forward reports 0.
+            forwards += result.forwards
+            self.stats.record_shard(shard, forwards=result.forwards)
+            value = result.value
+            if kind == "tiles":
+                offset = 0
+                for pending in group:
+                    n = len(pending.request.tiles)
+                    self._resolve(
+                        pending,
+                        np.asarray(value[offset:offset + n]),
+                        version,
+                        len(group),
+                        shard,
+                        canary=canary,
+                    )
+                    offset += n
+            elif kind == "runtimes":
+                for pending, runtime in zip(group, value):
+                    self._resolve(
+                        pending, float(runtime), version, len(group), shard,
+                        canary=canary,
+                    )
+            else:
+                offset = 0
+                for pending in group:
+                    n = len(pending.request.programs)
+                    self._resolve(
+                        pending,
+                        np.asarray(value[offset:offset + n]),
+                        version,
+                        len(group),
+                        shard,
+                        canary=canary,
+                    )
+                    offset += n
+        return forwards
+
+    def _execute_shadow(self, version: str, batch: list[PendingRequest]) -> None:
+        """Score a batch with a staged version, off the response path.
+
+        Runs after every response future in the micro-batch has resolved:
+        nothing here touches futures or the result cache — the only
+        outputs are feedback predictions (joined later with measured
+        runtimes) and shadow routing stats. Failures are accounted and
+        swallowed; a broken staged checkpoint must never take the
+        response path down.
+        """
+        commands, groups = self._build_commands(batch)
+        if not commands:
+            return
+        try:
+            results = self.executor.run(version, commands)
+        except Exception:
+            for _, _, group in groups:
+                for _ in group:
+                    self.stats.record_route(version, shadow=True, error=True)
+            return
+        for (kind, _shard, group), result in zip(groups, results):
+            if result.error is not None:
+                for _ in group:
+                    self.stats.record_route(version, shadow=True, error=True)
+                continue
+            self.stats.record_shadow_forwards(result.forwards)
+            value = result.value
+            offset = 0
+            for pending in group:
                 if kind == "tiles":
-                    offset = 0
-                    for pending in group:
-                        n = len(pending.request.tiles)
-                        self._resolve(
-                            pending,
-                            np.asarray(value[offset:offset + n]),
-                            version,
-                            len(group),
-                            shard,
-                        )
-                        offset += n
+                    n = len(pending.request.tiles)
+                    prediction = np.asarray(value[offset:offset + n])
                 elif kind == "runtimes":
-                    for pending, runtime in zip(group, value):
-                        self._resolve(pending, float(runtime), version, len(group), shard)
+                    n = 1
+                    prediction = float(value[offset])
                 else:
-                    offset = 0
-                    for pending in group:
-                        n = len(pending.request.programs)
-                        self._resolve(
-                            pending,
-                            np.asarray(value[offset:offset + n]),
-                            version,
-                            len(group),
-                            shard,
-                        )
-                        offset += n
-
-            self.stats.record_batch(len(batch), forwards)
+                    n = len(pending.request.programs)
+                    prediction = np.asarray(value[offset:offset + n])
+                offset += n
+                self.stats.record_route(version, shadow=True)
+                if self.feedback is not None:
+                    self.feedback.record_prediction(
+                        version,
+                        request_key(pending.request),
+                        prediction,
+                        request=pending.request,
+                        shadow=True,
+                    )
 
     def _resolve(
         self,
@@ -416,6 +634,7 @@ class CostModelService:
         version: str,
         group_size: int,
         shard: int | None = None,
+        canary: bool = False,
     ) -> None:
         if pending.future.done():
             return
@@ -424,12 +643,22 @@ class CostModelService:
         if key is not None:
             self.result_cache.put((version, key), value)
         self.stats.record_response(latency, cache_hit=False, shard=shard)
+        self.stats.record_route(version, canary=canary)
+        if self.feedback is not None:
+            self.feedback.record_prediction(
+                version,
+                request_key(pending.request),
+                value,
+                request=pending.request,
+            )
         pending.future.set_result(
             Response(
                 value=value,
                 model_version=version,
                 batch_size=group_size,
                 latency_s=latency,
+                canary=canary,
+                shadowed_by=pending.shadowed_by,
             )
         )
 
@@ -444,6 +673,7 @@ class CostModelService:
             return
         latency = time.perf_counter() - pending.enqueued_at
         self.stats.record_response(latency, cache_hit=False, error=True, shard=shard)
+        self.stats.record_route(version, error=True)
         pending.future.set_result(
             Response(
                 value=None, model_version=version, latency_s=latency, error=message

@@ -8,6 +8,14 @@ the parent ships a new version. Workers communicate over a
 
 * ``("load", version, blob)`` — deserialize ``blob`` (the exact bytes of
   :meth:`ModelRegistry.blob`) and serve it; replies ``("ok", version)``.
+  Evaluators are kept per version in a small LRU (``max_live_versions``),
+  so a rollout alternating active- and staged-version batches reuses
+  warm state instead of rebuilding the model every switch.
+* ``("use", version)`` — switch to an already-loaded version's warm
+  evaluator without shipping the blob again; replies ``("ok", version)``
+  or ``("miss", version)`` when the LRU evicted it (the parent then falls
+  back to a full ``load`` — the same miss/retry contract as kernel
+  interning).
 * ``("tiles", fingerprint, kernel_or_None, dims_list)`` — score candidate
   tiles (tile configs cross the pipe as raw dims tuples). Kernels are
   *interned* by fingerprint on first sight so the steady-state request
@@ -41,13 +49,17 @@ from __future__ import annotations
 from collections import OrderedDict
 
 
-def shard_worker(conn, max_cached_kernels: int = 1024) -> None:
+def shard_worker(
+    conn, max_cached_kernels: int = 1024, max_live_versions: int = 2
+) -> None:
     """Serve shard requests on ``conn`` until EOF or an ``exit`` message.
 
     Args:
         conn: child end of a ``multiprocessing.Pipe``.
         max_cached_kernels: evaluator cache bound, and the bound on the
             fingerprint -> kernel interning map.
+        max_live_versions: warm per-version evaluators kept (LRU); 2
+            serves a rollout's active + staged pair without thrash.
     """
     import traceback
 
@@ -63,6 +75,7 @@ def shard_worker(conn, max_cached_kernels: int = 1024) -> None:
 
     evaluator: LearnedEvaluator | None = None
     version: str | None = None
+    evaluators: OrderedDict[str, LearnedEvaluator] = OrderedDict()
     interned: OrderedDict[str, object] = OrderedDict()
 
     def intern(fingerprint, kernel):
@@ -86,7 +99,18 @@ def shard_worker(conn, max_cached_kernels: int = 1024) -> None:
                 evaluator = LearnedEvaluator.from_checkpoint_bytes(
                     blob, max_cached_kernels=max_cached_kernels
                 )
+                lru_touch(evaluators, new_version, evaluator, max_live_versions)
                 version = new_version
+                conn.send(("ok", version))
+            elif op == "use":
+                _, target = message
+                cached = evaluators.get(target)
+                if cached is None:
+                    conn.send(("miss", target))
+                    continue
+                lru_touch(evaluators, target, cached, max_live_versions)
+                evaluator = cached
+                version = target
                 conn.send(("ok", version))
             elif op == "tiles":
                 _, fingerprint, kernel, dims_list = message
@@ -144,6 +168,7 @@ def shard_worker(conn, max_cached_kernels: int = 1024) -> None:
                 payload = dict(evaluator.stats()) if evaluator is not None else {}
                 payload["interned_kernels"] = len(interned)
                 payload["version"] = version
+                payload["live_versions"] = len(evaluators)
                 conn.send(("ok", payload))
             elif op == "exit":
                 return

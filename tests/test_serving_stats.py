@@ -1,0 +1,237 @@
+"""Edge-case coverage for :class:`repro.evaluation.ServingStats`.
+
+Three corners a long-lived serving tier actually hits: percentile queries
+over empty windows (a metrics scrape right after start), the per-shard
+breakdown surviving a worker respawn (the shard id persists, the process
+behind it does not), and snapshot consistency under concurrent readers
+while writers are hot.
+"""
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.compiler import enumerate_tile_sizes
+from repro.data import Scalers, build_tile_dataset
+from repro.evaluation import ServingStats, latency_percentiles
+from repro.models import LearnedPerformanceModel, ModelConfig
+from repro.models.trainer import TrainResult
+from repro.serving import (
+    CostModelService,
+    ServiceConfig,
+    ServiceEvaluator,
+)
+from repro.workloads import vision
+
+SMALL = dict(hidden_dim=16, opcode_embedding_dim=8, gnn_layers=2, lstm_hidden=16)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    ds = build_tile_dataset(
+        [vision.image_embed(0)], max_kernels_per_program=5, max_tiles_per_kernel=6, seed=0
+    )
+    scalers = Scalers.fit_tile(ds.records)
+    return ds.records, scalers
+
+
+@pytest.fixture(scope="module")
+def result_a(corpus):
+    _, scalers = corpus
+    cfg = ModelConfig(task="tile", reduction="column-wise", **SMALL)
+    model = LearnedPerformanceModel(cfg, seed=0)
+    model.eval()
+    return TrainResult(model=model, scalers=scalers, loss_history=[])
+
+
+class TestEmptyWindows:
+    def test_latency_percentiles_of_nothing(self):
+        summary = latency_percentiles([])
+        assert summary.count == 0
+        assert (summary.mean, summary.p50, summary.p90, summary.p99, summary.max) == (
+            0.0, 0.0, 0.0, 0.0, 0.0,
+        )
+
+    def test_fresh_stats_snapshot_is_all_zero(self):
+        snap = ServingStats().snapshot()
+        assert snap["requests"] == 0.0
+        assert snap["cache_hit_rate"] == 0.0
+        assert snap["batch_occupancy"] == 0.0
+        assert snap["requests_per_forward"] == 0.0
+        assert snap["shadow_forwards"] == 0.0
+        assert snap["latency_p99_s"] == 0.0
+
+    def test_fresh_breakdowns_are_empty(self):
+        stats = ServingStats()
+        assert stats.shard_snapshot() == {}
+        assert stats.version_snapshot() == {}
+
+    def test_single_sample_percentiles_are_that_sample(self):
+        stats = ServingStats()
+        stats.record_response(0.25, cache_hit=False, shard=0)
+        snap = stats.snapshot()
+        assert snap["latency_p50_s"] == 0.25
+        assert snap["latency_p99_s"] == 0.25
+        shard = stats.shard_snapshot()["0"]
+        assert shard["latency_p50_s"] == 0.25
+        assert shard["latency_max_s"] == 0.25
+
+    def test_shard_with_forwards_but_no_responses(self):
+        # A shard whose only activity was a fused ride-along forward must
+        # still render a complete, division-safe entry.
+        stats = ServingStats()
+        stats.record_shard(3, forwards=2)
+        entry = stats.shard_snapshot()["3"]
+        assert entry["forwards"] == 2.0
+        assert entry["requests"] == 0.0
+        assert entry["requests_per_forward"] == 0.0
+        assert set(ServingStats.empty_shard_entry()) <= set(entry)
+
+    def test_version_entry_shape_matches_empty_template(self):
+        stats = ServingStats()
+        stats.record_route("v1", canary=True)
+        stats.record_route("v1", shadow=True)
+        stats.record_route("v1", shadow=True, error=True)
+        entry = stats.version_snapshot()["v1"]
+        assert set(entry) == set(ServingStats.empty_version_entry())
+        assert entry["served"] == 1.0
+        assert entry["canary"] == 1.0
+        assert entry["shadow"] == 1.0
+        assert entry["shadow_errors"] == 1.0
+        stats.record_route(None)  # no version resolved: must be a no-op
+        assert set(stats.version_snapshot()) == {"v1"}
+
+
+class TestRespawnBreakdown:
+    def test_per_shard_breakdown_survives_worker_respawn(self, corpus, result_a):
+        """SIGKILL a shard worker mid-life: the service's per-shard entry
+        keeps its accumulated counters, picks up the executor's restart
+        count, and stays complete (every stats key present)."""
+        records, _ = corpus
+        service = CostModelService(
+            result_a,
+            ServiceConfig(executor="process", replicas=2, result_cache_entries=0),
+        )
+        try:
+            client = ServiceEvaluator(service, timeout_s=120.0)
+            for record in records:
+                client.score_tiles_batched(
+                    record.kernel, enumerate_tile_sizes(record.kernel)[:4]
+                )
+            before = service.metrics()["per_shard"]
+            victim = next(
+                s for s in service.executor._shards if s.process is not None
+            )
+            os.kill(victim.process.pid, signal.SIGKILL)
+            time.sleep(0.1)
+            for record in records:
+                client.score_tiles_batched(
+                    record.kernel, enumerate_tile_sizes(record.kernel)[:4]
+                )
+            after = service.metrics()["per_shard"]
+            assert set(after) == set(before)
+            required = set(ServingStats.empty_shard_entry()) | {
+                "restarts", "alive", "placement",
+            }
+            for entry in after.values():
+                assert required <= set(entry)
+                if entry["requests"] > 0:  # untouched shards stay unspawned
+                    assert entry["alive"]
+            victim_entry = after[str(victim.index)]
+            assert victim_entry["restarts"] >= 1
+            # Counters accumulate across the respawn, never reset.
+            assert victim_entry["requests"] >= before[str(victim.index)]["requests"]
+        finally:
+            service.stop()
+
+
+class TestConcurrentReaders:
+    def test_snapshots_stay_consistent_under_writer_load(self):
+        """Readers hammer every snapshot surface while writers record;
+        nothing may raise, and the final counts must be exact."""
+        stats = ServingStats()
+        writers, per_writer = 4, 500
+        stop_reading = threading.Event()
+        reader_errors: list[BaseException] = []
+
+        def read() -> None:
+            try:
+                while not stop_reading.is_set():
+                    snap = stats.snapshot()
+                    assert snap["requests"] >= snap["errors"]
+                    for entry in stats.shard_snapshot().values():
+                        assert entry["requests"] >= 0.0
+                    for entry in stats.version_snapshot().values():
+                        assert entry["served"] >= entry["canary"]
+            except BaseException as exc:  # surfaced after join
+                reader_errors.append(exc)
+
+        def write(worker: int) -> None:
+            for i in range(per_writer):
+                stats.record_response(
+                    0.001 * (i % 7), cache_hit=i % 5 == 0, shard=worker % 2
+                )
+                stats.record_route(f"v{worker % 2}", canary=i % 3 == 0)
+                if i % 10 == 0:
+                    stats.record_batch(4, forwards=1)
+                    stats.record_shard(worker % 2, forwards=1)
+
+        readers = [threading.Thread(target=read) for _ in range(3)]
+        for t in readers:
+            t.start()
+        writer_threads = [
+            threading.Thread(target=write, args=(w,)) for w in range(writers)
+        ]
+        for t in writer_threads:
+            t.start()
+        for t in writer_threads:
+            t.join()
+        stop_reading.set()
+        for t in readers:
+            t.join()
+        assert not reader_errors
+        snap = stats.snapshot()
+        assert snap["requests"] == float(writers * per_writer)
+        versions = stats.version_snapshot()
+        assert sum(v["served"] for v in versions.values()) == writers * per_writer
+        shards = stats.shard_snapshot()
+        assert sum(s["requests"] for s in shards.values()) == writers * per_writer
+
+    def test_metrics_under_concurrent_readers_on_live_service(
+        self, corpus, result_a
+    ):
+        """service.metrics() — the merged view — is safe to scrape while
+        traffic flows."""
+        records, _ = corpus
+        service = CostModelService(
+            result_a, ServiceConfig(replicas=2, result_cache_entries=0)
+        ).start()
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def scrape() -> None:
+            try:
+                while not stop.is_set():
+                    metrics = service.metrics()
+                    assert "per_shard" in metrics and "per_version" in metrics
+            except BaseException as exc:
+                errors.append(exc)
+
+        try:
+            scraper = threading.Thread(target=scrape)
+            scraper.start()
+            client = ServiceEvaluator(service)
+            for _ in range(3):
+                for record in records:
+                    client.score_tiles_batched(
+                        record.kernel, enumerate_tile_sizes(record.kernel)[:4]
+                    )
+            stop.set()
+            scraper.join()
+            assert not errors
+            assert service.metrics()["requests"] >= 3 * len(records)
+        finally:
+            stop.set()
+            service.stop()
