@@ -1,0 +1,386 @@
+"""Adaptive-placement benchmark: skewed-workload rebalance + live migration.
+
+Two questions the placement subsystem must answer before it owns routing:
+
+1. **What does an adaptive shard map buy on a skewed workload?**
+   A fleet of independent tuners whose kernels all hash onto *one* shard
+   under the legacy static ``fingerprint % n`` routing (the worst — and
+   with real autotuner populations, common — case: fingerprints are
+   uniform, kernel *traffic* is not). Per-shard caches are sized for a
+   balanced population, so the static placement thrashes the hot shard's
+   feature/precompute memos on every request while three shards idle.
+   The adaptive configuration runs the same service under a
+   :class:`PlacementController`: it watches the per-shard load EWMAs,
+   detects the skew, and rebalances hot buckets across shards — after
+   which every shard's working set fits its cache again. Reported:
+   16-client throughput for both, and the ratio (gated >= 1.2x in full
+   mode). This is the cache-affinity win, so it holds on a 1-CPU
+   container; with more cores the process executor's parallelism widens
+   it further.
+
+2. **What does a live migration cost?**
+   A process-executor service grows 2 -> 3 workers *under concurrent
+   client traffic*: the new worker is spawned and synced to every live
+   checkpoint version before the map swaps at a micro-batch boundary,
+   and the retired placement drains cleanly. Gated in full mode: every
+   submitted request resolves (zero dropped), zero errors, every
+   response version-pure on the active version, and the map version
+   advanced. (Bitwise equivalence of migrated vs. unmigrated responses
+   at equal batch shape is enforced by ``tests/test_placement.py``.)
+
+Run with ``REPRO_BENCH_FAST=1`` for the CI smoke configuration. Output is
+one JSON object on stdout (tracked PR-over-PR in ROADMAP.md). In full
+mode the exit code enforces the acceptance bars above; fast mode is
+informational (it still fails on crashes).
+"""
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.compiler import enumerate_tile_sizes  # noqa: E402
+from repro.data import Scalers, build_tile_dataset  # noqa: E402
+from repro.models import LearnedPerformanceModel, ModelConfig  # noqa: E402
+from repro.models.trainer import TrainResult  # noqa: E402
+from repro.serving import (  # noqa: E402
+    CostModelService,
+    ModelRegistry,
+    PlacementConfig,
+    PlacementController,
+    ServiceConfig,
+    ServiceEvaluator,
+    ShardMap,
+)
+from repro.workloads import vision  # noqa: E402
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+CHUNK = 4  # candidate tiles per request (one search step's proposals)
+SHARDS = 4
+REPEATS = 1 if FAST else 3
+CLIENTS = 4 if FAST else 16
+REQUESTS_PER_CLIENT = 8 if FAST else 40
+MIGRATION_CLIENTS = 2 if FAST else 4
+MIGRATION_REQUESTS = 6 if FAST else 24
+
+
+def _hot_workload(records):
+    """Per-request (kernel, tile-chunk) streams over kernels that ALL
+    land on shard 0 under the static ``fingerprint % n`` routing — the
+    maximally skewed independent-tuner population."""
+    probe = ShardMap.uniform(SHARDS)
+    hot = []
+    for record in records:
+        tiles = enumerate_tile_sizes(record.kernel)
+        fingerprint = record.kernel.fingerprint()
+        if len(tiles) >= CHUNK and probe.table[probe.bucket_of(fingerprint)] == 0:
+            hot.append((record.kernel, tiles))
+    hot_buckets = {
+        probe.bucket_of(kernel.fingerprint()) for kernel, _ in hot
+    }
+    return hot, len(hot_buckets)
+
+
+def _client_streams(hot, num_clients: int, requests_per_client: int):
+    """Independent tuners: client i walks its own rotation of the hot
+    kernel pool."""
+    streams = []
+    for client in range(num_clients):
+        stream = []
+        for i in range(requests_per_client):
+            kernel, tiles = hot[(client + i) % len(hot)]
+            start = (i * CHUNK) % (len(tiles) - CHUNK + 1)
+            stream.append((kernel, tiles[start:start + CHUNK]))
+        streams.append(stream)
+    return streams
+
+
+def _run_clients_once(streams, make_scorer) -> dict:
+    num_clients = len(streams)
+    barrier = threading.Barrier(num_clients + 1)
+
+    def client(index: int) -> None:
+        scorer = make_scorer()
+        barrier.wait()
+        for kernel, tiles in streams[index]:
+            scorer.score_tiles_batched(kernel, tiles)
+
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(num_clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    total = sum(len(s) for s in streams)
+    return {
+        "clients": num_clients,
+        "requests": total,
+        "requests_per_sec": total / elapsed,
+        "elapsed_s": elapsed,
+    }
+
+
+def _run_clients(streams, make_scorer) -> dict:
+    best = None
+    for _ in range(REPEATS):
+        report = _run_clients_once(streams, make_scorer)
+        if best is None or report["requests_per_sec"] > best["requests_per_sec"]:
+            best = report
+    best["measured_passes"] = REPEATS
+    return best
+
+
+def _service(result, hot_kernels: int) -> CostModelService:
+    """Per-shard caches sized for a *balanced* population: the whole hot
+    set does not fit one shard's cache, a quarter of it does."""
+    per_shard_cache = max(2, (hot_kernels + SHARDS - 1) // SHARDS + 1)
+    return CostModelService(
+        result,
+        ServiceConfig(
+            max_batch_size=64,
+            adaptive_flush=True,
+            replicas=SHARDS,
+            result_cache_entries=0,
+            max_cached_kernels=per_shard_cache,
+            share_kernel_cache=False,
+        ),
+    )
+
+
+def bench_skew(result, hot, hot_buckets: int, adaptive: bool) -> dict:
+    """Skewed-workload throughput, static vs. controller-rebalanced."""
+    service = _service(result, len(hot))
+    try:
+        streams = _client_streams(hot, CLIENTS, REQUESTS_PER_CLIENT)
+        controller = None
+        rebalanced_after_rounds = None
+        if adaptive:
+            controller = PlacementController(
+                service,
+                PlacementConfig(
+                    skew_threshold=1.3,
+                    hysteresis=2,
+                    cooldown_s=0.0,
+                    ewma_alpha=1.0,
+                    min_interval_requests=8,
+                    max_moves=64,
+                ),
+            )
+            warm = ServiceEvaluator(service)
+            for round_index in range(6):
+                for kernel, tiles in streams[0]:
+                    warm.score_tiles_batched(kernel, tiles)
+                if controller.step() is not None:
+                    rebalanced_after_rounds = round_index + 1
+                    break
+        # One warmup pass for both configurations (steady-state caches —
+        # which for the static placement still means thrash).
+        warm = ServiceEvaluator(service)
+        for kernel, tiles in streams[0]:
+            warm.score_tiles_batched(kernel, tiles)
+        report = _run_clients(streams, lambda: ServiceEvaluator(service))
+        metrics = service.metrics()
+        report["batch_occupancy"] = metrics["batch_occupancy"]
+        report["map_version"] = metrics["placement"]["version"]
+        report["hot_kernels"] = len(hot)
+        report["hot_buckets"] = hot_buckets
+        report["per_shard_requests"] = {
+            shard: entry["requests"]
+            for shard, entry in metrics["per_shard"].items()
+        }
+        evaluator_stats = service.executor.stats()
+        report["feature_cache_hit_rate"] = (
+            evaluator_stats.get("feature_hits", 0)
+            / max(
+                evaluator_stats.get("feature_hits", 0)
+                + evaluator_stats.get("feature_misses", 0),
+                1,
+            )
+        )
+        if adaptive:
+            report["rebalances"] = controller.rebalances
+            report["rebalanced_after_rounds"] = rebalanced_after_rounds
+            report["buckets_per_shard"] = metrics["placement"][
+                "buckets_per_shard"
+            ]
+        return report
+    finally:
+        service.stop()
+
+
+def bench_migration(result, hot) -> dict:
+    """Live 2 -> 3 worker migration under concurrent process-executor
+    traffic: count drops, errors, and version mixing."""
+    registry = ModelRegistry()
+    registry.publish(result, version="active")
+    service = CostModelService(
+        registry,
+        ServiceConfig(
+            executor="process",
+            replicas=2,
+            result_cache_entries=0,
+            max_batch_size=16,
+        ),
+    ).start()
+    controller = PlacementController(
+        service,
+        PlacementConfig(
+            skew_threshold=1.3,
+            hysteresis=1,
+            cooldown_s=0.0,
+            ewma_alpha=1.0,
+            min_interval_requests=4,
+            max_moves=64,
+            autoscale=True,
+            min_shards=2,
+            max_shards=3,
+            # Any observed backlog triggers the grow step — the point
+            # here is measuring the migration, not the trigger.
+            scale_up_pressure=1e-9,
+            scale_down_pressure=-1.0,
+        ),
+    )
+    try:
+        streams = _client_streams(hot, MIGRATION_CLIENTS, MIGRATION_REQUESTS)
+        from repro.serving import TileScoresRequest
+
+        futures: list = []
+        futures_lock = threading.Lock()
+        barrier = threading.Barrier(MIGRATION_CLIENTS + 1)
+
+        def client(index: int) -> None:
+            barrier.wait()
+            for kernel, tiles in streams[index]:
+                request = TileScoresRequest(kernel=kernel, tiles=tuple(tiles))
+                future = service.submit(request)
+                with futures_lock:
+                    futures.append(future)
+                future.result(timeout=300)
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(MIGRATION_CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        # The queue-pressure EMA only moves once batches cut; poll the
+        # controller while traffic flows until the grow step lands.
+        summary = None
+        migration_s = None
+        for _ in range(100):
+            start = time.perf_counter()
+            summary = controller.step()  # spawns + syncs worker 2, swaps map
+            if summary is not None:
+                migration_s = time.perf_counter() - start
+                break
+            time.sleep(0.02)
+        for t in threads:
+            t.join()
+        responses = [future.result(timeout=300) for future in futures]
+        submitted = MIGRATION_CLIENTS * MIGRATION_REQUESTS
+        return {
+            "workers_before": 2,
+            "workers_after": service.executor.num_shards,
+            "migration_summary": summary,
+            "migration_s": migration_s,
+            "submitted": submitted,
+            "resolved": len(responses),
+            "dropped": submitted - len(responses),
+            "errors": sum(1 for r in responses if r.error is not None),
+            "version_mixed": sum(
+                1 for r in responses if r.model_version != "active"
+            ),
+            "map_version": service.shard_map.version,
+        }
+    finally:
+        service.stop()
+
+
+def main() -> dict:
+    if FAST:
+        programs = [vision.image_embed(0), vision.alexnet(0)]
+    else:
+        programs = [
+            vision.resnet_v1(0), vision.alexnet(0),
+            vision.image_embed(0), vision.ssd(0),
+        ]
+    dataset = build_tile_dataset(
+        programs,
+        max_kernels_per_program=4 if FAST else 8,
+        max_tiles_per_kernel=8,
+        seed=0,
+    )
+    scalers = Scalers.fit_tile(dataset.records)
+    model = LearnedPerformanceModel(ModelConfig.paper_best_tile())
+    model.eval()
+    result = TrainResult(model=model, scalers=scalers, loss_history=[])
+    hot, hot_buckets = _hot_workload(dataset.records)
+    if len(hot) < 2 or hot_buckets < 2:
+        # A one-bucket hot set is correctly unsplittable; the skew story
+        # needs a pool the controller can actually spread.
+        raise SystemExit(
+            f"kernel pool too small for a skewed workload "
+            f"({len(hot)} hot kernels in {hot_buckets} buckets)"
+        )
+
+    report: dict = {
+        "benchmark": "bench_placement",
+        "fast_mode": FAST,
+        "num_kernels": len(dataset.records),
+        "tiles_per_request": CHUNK,
+        "shards": SHARDS,
+        "clients": CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "static": bench_skew(result, hot, hot_buckets, adaptive=False),
+        "adaptive": bench_skew(result, hot, hot_buckets, adaptive=True),
+        "migration": bench_migration(result, hot),
+    }
+    report["adaptive_vs_static"] = (
+        report["adaptive"]["requests_per_sec"]
+        / report["static"]["requests_per_sec"]
+    )
+    return report
+
+
+def _gates(report: dict) -> list[str]:
+    """Acceptance bars enforced by exit code in full mode."""
+    failures = []
+    if report["adaptive_vs_static"] < 1.2:
+        failures.append(
+            f"adaptive shard map vs static fingerprint%n at "
+            f"{report['clients']} clients: "
+            f"{report['adaptive_vs_static']:.2f}x < 1.2x"
+        )
+    if report["adaptive"].get("rebalances", 0) < 1:
+        failures.append("placement controller never rebalanced the skew")
+    migration = report["migration"]
+    if migration["dropped"] != 0:
+        failures.append(f"live migration dropped {migration['dropped']} responses")
+    if migration["errors"] != 0:
+        failures.append(f"live migration produced {migration['errors']} errors")
+    if migration["version_mixed"] != 0:
+        failures.append(
+            f"{migration['version_mixed']} responses left the active version"
+        )
+    if migration["workers_after"] != 3 or migration["map_version"] < 2:
+        failures.append("live migration did not complete (no new worker/map)")
+    return failures
+
+
+if __name__ == "__main__":
+    report = main()
+    print(json.dumps(report, indent=2))
+    failures = [] if FAST else _gates(report)
+    for failure in failures:
+        print(f"BENCH GATE FAILED: {failure}", file=sys.stderr)
+    sys.exit(1 if failures else 0)

@@ -45,6 +45,8 @@ from repro.serving import (
     FeedbackCollector,
     FullActivation,
     ModelRegistry,
+    PlacementConfig,
+    PlacementController,
     RolloutConfig,
     RolloutController,
     ServiceConfig,
@@ -223,6 +225,57 @@ def main() -> None:
         probe.score_tiles_batched(stream[0][0], stream[0][1])
         _check(probe.model_version == v2, "post-rollback traffic not served by active")
         print(f"  {v3} auto-rolled-back within {used} requests; {v2} still active")
+
+        # 6b. Adaptive placement: route skewed traffic at the service and
+        #     let the PlacementController rebalance the shard map live —
+        #     same request, bitwise-same answer, before and after.
+        placement = PlacementController(
+            service,
+            PlacementConfig(
+                skew_threshold=1.2, hysteresis=2, cooldown_s=0.0,
+                ewma_alpha=1.0, min_interval_requests=8, max_moves=64,
+            ),
+        )
+        shard_map = service.shard_map
+        hot = [
+            (kernel, tiles)
+            for kernel, tiles in stream
+            if shard_map.table[shard_map.bucket_of(kernel.fingerprint())] == 0
+        ]
+        hot_buckets = {
+            shard_map.bucket_of(kernel.fingerprint()) for kernel, _ in hot
+        }
+        _check(len(hot) >= 8, "corpus yielded too few shard-0 kernels for the demo")
+        probe_kernel, probe_tiles = hot[0]
+        before_scores = probe.score_tiles_batched(probe_kernel, probe_tiles)
+        map_version_before = shard_map.version
+        applied = None
+        for _ in range(5):
+            for kernel, tiles in hot:
+                probe.score_tiles_batched(kernel, tiles)
+            applied = placement.step() or applied
+            if applied:
+                break
+        if len(hot_buckets) >= 2:
+            _check(applied is not None, "placement controller never rebalanced the skew")
+            _check(
+                service.shard_map.version > map_version_before,
+                "rebalance did not version the shard map",
+            )
+            _check(
+                service.metrics()["placement_changes"] >= 1.0,
+                "rebalance not accounted in serving stats",
+            )
+            print(
+                f"placement rebalanced: {applied['reason']} -> map "
+                f"v{service.shard_map.version:.0f}, {applied['moves']} buckets moved"
+            )
+        after_scores = probe.score_tiles_batched(probe_kernel, probe_tiles)
+        _check(
+            (before_scores == after_scores).all(),
+            "rebalance changed response numerics",
+        )
+        print("  responses bitwise-identical across the migration")
 
         # 7. Remote ingress: a TCP socket frontend feeding the same
         #    scheduler core — a tuner in another process or machine would

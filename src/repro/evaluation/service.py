@@ -110,6 +110,9 @@ class ServingStats:
         self.batched_requests = 0
         self.model_forwards = 0
         self.shadow_forwards = 0
+        self.cache_hit_shadows = 0
+        self.placement_changes = 0
+        self.placement_moves = 0
         self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
         self._shards: dict[int, _ShardStats] = {}
         self._versions: dict[str, _VersionStats] = {}
@@ -200,6 +203,54 @@ class ServingStats:
         with self._lock:
             self.shadow_forwards += forwards
 
+    def record_cache_hit_shadow(self) -> None:
+        """Account one result-cache hit sampled into a shadow batch (the
+        rollout-aware cache: hits bypass execution, so a sampled fraction
+        is re-scored off-path to keep staged evidence flowing)."""
+        with self._lock:
+            self.cache_hit_shadows += 1
+
+    # ------------------------------------------------------------------ #
+    # placement transitions
+    # ------------------------------------------------------------------ #
+
+    def record_placement_change(self, moves: int = 0) -> None:
+        """Account one applied rebalance plan (``moves`` buckets moved)."""
+        with self._lock:
+            self.placement_changes += 1
+            self.placement_moves += moves
+
+    def reset_shards(self, shards) -> None:
+        """Drop the listed shards' accumulated counters and latency
+        windows. A rebalance changed what these shards serve, so their
+        history (volume, occupancy, tails) no longer describes the new
+        assignment; fresh entries accumulate from the next response."""
+        with self._lock:
+            for shard in shards:
+                self._shards.pop(int(shard), None)
+
+    def relabel_shards(self, mapping: dict) -> None:
+        """Merge each source shard's counters into its destination.
+
+        The migration relabeling half of a shard-count shrink: a retired
+        shard's heir (the survivor that inherited its buckets) absorbs
+        its volume counters and latency samples, so service-lifetime
+        totals are conserved across the migration. Sources disappear
+        from the breakdown; destinations are created if absent. The
+        whole merge happens under the stats lock, so concurrent readers
+        see either the old labels or the new — never a torn mixture.
+        """
+        with self._lock:
+            for source, dest in mapping.items():
+                stats = self._shards.pop(int(source), None)
+                if stats is None:
+                    continue
+                heir = self._shard(int(dest))
+                heir.requests += stats.requests
+                heir.errors += stats.errors
+                heir.forwards += stats.forwards
+                heir.latencies.extend(stats.latencies)
+
     @staticmethod
     def empty_version_entry() -> dict[str, float]:
         """A zeroed per-version entry (versions with no routed traffic)."""
@@ -286,6 +337,9 @@ class ServingStats:
                 "batch_occupancy": self.batched_requests / self.batches if self.batches else 0.0,
                 "model_forwards": float(self.model_forwards),
                 "shadow_forwards": float(self.shadow_forwards),
+                "cache_hit_shadows": float(self.cache_hit_shadows),
+                "placement_changes": float(self.placement_changes),
+                "placement_moves": float(self.placement_moves),
                 "requests_per_forward": (
                     self.batched_requests / self.model_forwards if self.model_forwards else 0.0
                 ),

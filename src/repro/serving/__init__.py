@@ -49,6 +49,14 @@ from .executors import (
     WorkerDiedError,
 )
 from .frontend import Frontend, InProcessFrontend, SocketFrontend
+from .placement import (
+    DEFAULT_BUCKETS,
+    BucketMove,
+    PlacementConfig,
+    PlacementController,
+    RebalancePlan,
+    ShardMap,
+)
 from .protocol import (
     NEED_KERNEL_PREFIX,
     KernelRuntimeRequest,
@@ -88,6 +96,7 @@ from .service import EXECUTOR_CHOICES, CostModelService, ServiceConfig
 
 __all__ = [
     "CANARY",
+    "DEFAULT_BUCKETS",
     "EXECUTOR_CHOICES",
     "IDLE",
     "NEED_KERNEL_PREFIX",
@@ -95,6 +104,7 @@ __all__ = [
     "ROLLED_BACK",
     "ROLLOUT_STATES",
     "SHADOW",
+    "BucketMove",
     "CanaryFraction",
     "CommandResult",
     "CostModelService",
@@ -110,14 +120,18 @@ __all__ = [
     "MicroBatcher",
     "ModelRegistry",
     "PendingRequest",
+    "PlacementConfig",
+    "PlacementController",
     "ProcessShardExecutor",
     "ProgramCommand",
     "ProgramRuntimesRequest",
+    "RebalancePlan",
     "ReplicaPool",
     "Request",
     "Response",
     "ResultCache",
     "RolloutConfig",
+    "ShardMap",
     "RolloutController",
     "RolloutPolicy",
     "RolloutTransition",

@@ -15,10 +15,16 @@ placements implement the interface:
   the registry's blob bytes, and a worker that dies is respawned and
   resynced to the in-flight version before it serves anything.
 
-Both backends route by the same stable digest-slice shard function, so a
-request lands on the same shard regardless of placement — what makes the
-two backends interchangeable (and bitwise-identical at equal batch
-shape).
+Both backends route through the same versioned
+:class:`~repro.serving.placement.ShardMap` (whose uniform default matches
+the legacy stable digest-slice function), so a request lands on the same
+shard regardless of placement — what makes the two backends
+interchangeable (and bitwise-identical at equal batch shape). Both also
+act on :class:`~repro.serving.placement.RebalancePlan`s via
+:meth:`Executor.apply_plan`: the in-thread pool resizes its replicas
+(autoscaling), the process executor performs a version-safe live
+migration (spawn + blob-sync new workers, swap the map, drain retired
+workers).
 
 Both backends keep a small LRU of **live versions** (``max_live_versions``,
 default 2): a canary/shadow rollout alternates active- and staged-version
@@ -40,6 +46,7 @@ import numpy as np
 
 from ..compiler.kernels import Kernel
 from ..compiler.tiling import TileConfig
+from .placement import RebalancePlan, ShardMap
 from .protocol import lru_touch
 from .registry import ModelRegistry
 from .replica import ReplicaPool, shard_of
@@ -85,9 +92,39 @@ class Executor(ABC):
     #: Number of fingerprint shards (routing targets) this backend runs.
     num_shards: int = 1
 
+    #: The versioned fingerprint → shard assignment in force. ``None``
+    #: (e.g. a minimal test double) falls back to the legacy static
+    #: ``fingerprint % n`` routing.
+    shard_map: ShardMap | None = None
+
     def shard_for(self, shard_key: str) -> int:
         """The shard owning ``shard_key`` (stable digest-slice routing)."""
+        if self.shard_map is not None:
+            return self.shard_map.shard_for(shard_key)
         return shard_of(shard_key, self.num_shards)
+
+    def apply_plan(self, plan: RebalancePlan) -> dict:
+        """Act on a rebalance plan: re-place shards, swap the map.
+
+        Implementations must apply the change atomically with respect to
+        :meth:`run` — the serving layer additionally serializes both
+        under its execution lock, so the swap always lands at a
+        micro-batch boundary. Raises on a stale plan (``new_map.version``
+        not above the current map's).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support placement changes"
+        )
+
+    def _check_plan(self, plan: RebalancePlan) -> ShardMap:
+        if self.shard_map is None:
+            raise ValueError("executor has no shard map to replace")
+        if plan.new_map.version <= self.shard_map.version:
+            raise ValueError(
+                f"stale rebalance plan: map version {plan.new_map.version} "
+                f"<= current {self.shard_map.version}"
+            )
+        return plan.new_map
 
     @abstractmethod
     def run(self, version: str, commands: list[Command]) -> list[CommandResult]:
@@ -138,13 +175,15 @@ class InThreadExecutor(Executor):
         share_kernel_cache: bool = True,
         max_live_versions: int = 2,
         fuse_tile_commands: bool = False,
+        shard_map: ShardMap | None = None,
     ) -> None:
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
         if max_live_versions < 1:
             raise ValueError("max_live_versions must be >= 1")
         self.registry = registry
-        self.num_shards = replicas
+        self.shard_map = shard_map or ShardMap.uniform(replicas)
+        self.num_shards = self.shard_map.num_shards
         self.max_cached_kernels = max_cached_kernels
         self.share_kernel_cache = share_kernel_cache
         self.max_live_versions = max_live_versions
@@ -249,6 +288,33 @@ class InThreadExecutor(Executor):
             for i in range(self.num_shards)
         ]
 
+    def apply_plan(self, plan: RebalancePlan) -> dict:
+        """Replica autoscaling + bucket moves for the in-thread pool.
+
+        Every live version's pool is resized to the plan's shard count
+        (new replicas share the kernel cache, whose bound rescales with
+        the pool), then the map swaps. Callers serialize against
+        :meth:`run` (the service holds its execution lock for both), so
+        a command annotated under one map never executes under another.
+        """
+        new_map = self._check_plan(plan)
+        with self._pools_lock:
+            pools = list(self._pools.values())
+        # Resizing builds evaluators (slow) — do it before taking the
+        # map forward, outside the pools lock so metrics stay live.
+        for pool in pools:
+            pool.resize(new_map.num_shards)
+        with self._pools_lock:
+            self.shard_map = new_map
+            self.num_shards = new_map.num_shards
+        return {
+            "placement": "thread",
+            "map_version": new_map.version,
+            "num_shards": new_map.num_shards,
+            "moves": len(plan.moves),
+            "resized_pools": len(pools),
+        }
+
 
 @dataclass
 class _Shard:
@@ -324,18 +390,24 @@ class ProcessShardExecutor(Executor):
         start_method: str = "spawn",
         request_timeout_s: float = 120.0,
         max_live_versions: int = 2,
+        shard_map: ShardMap | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
         if max_live_versions < 1:
             raise ValueError("max_live_versions must be >= 1")
         self.registry = registry
-        self.num_shards = shards
+        self.shard_map = shard_map or ShardMap.uniform(shards)
+        self.num_shards = self.shard_map.num_shards
         self.max_cached_kernels = max_cached_kernels
         self.request_timeout_s = request_timeout_s
         self.max_live_versions = max_live_versions
         self._ctx = multiprocessing.get_context(start_method)
-        self._shards = [_Shard(index=i) for i in range(shards)]
+        self._shards = [_Shard(index=i) for i in range(self.num_shards)]
+        # Serializes migrations (the shard list and map are only mutated
+        # under it); the slow spawn/sync phase runs with no shard lock
+        # held, so serving continues on the old placement meanwhile.
+        self._migrate_lock = threading.Lock()
         self._closed = False
 
     # ------------------------------------------------------------------ #
@@ -711,6 +783,135 @@ class ProcessShardExecutor(Executor):
         ]
 
     # ------------------------------------------------------------------ #
+    # placement migration
+    # ------------------------------------------------------------------ #
+
+    def _sync_new_shard_locked(self, shard: _Shard) -> int:
+        """Spawn ``shard``'s worker and sync every live registry version.
+
+        The staged version (and any other non-active live version) ships
+        as a ``warm`` message — loaded into the worker's per-version LRU
+        without switching — and the active version as a normal ``load``,
+        so the worker ends exactly like a long-lived one mid-rollout:
+        serving active, staged warm. Returns the number of checkpoint
+        blobs shipped.
+        """
+        versions = self.registry.live_versions
+        if not versions:
+            return 0
+        self._spawn_locked(shard)
+        synced = 0
+        for version in versions[1:]:
+            blob = self.registry.blob(version)
+            reply = self._request_locked(shard, ("warm", version, blob))
+            if reply[0] != "ok":
+                raise WorkerDiedError(
+                    f"shard {shard.index} failed to warm {version}: {reply[1]}"
+                )
+            lru_touch(shard.loaded, version, True, self.max_live_versions)
+            synced += 1
+        self._sync_locked(shard, versions[0])
+        return synced + 1
+
+    def _retire_shard_locked(self, shard: _Shard) -> None:
+        """Drain and stop a shard whose assignment the plan removed.
+
+        The caller holds the shard's lock, so no command is in flight —
+        the worker's queue is empty by construction and a clean ``exit``
+        *is* the drain. Escalates to terminate only on a hung worker.
+        """
+        if shard.process is None:
+            return
+        try:
+            shard.conn.send(("exit",))
+        except (BrokenPipeError, OSError):
+            pass
+        shard.process.join(timeout=2)
+        if shard.process.is_alive():
+            shard.process.terminate()
+            shard.process.join(timeout=2)
+        try:
+            shard.conn.close()
+        except OSError:
+            pass
+        shard.process = None
+        shard.conn = None
+        shard.version = None
+        shard.known.clear()
+        shard.loaded.clear()
+
+    def apply_plan(self, plan: RebalancePlan) -> dict:
+        """Version-safe live migration: spawn, sync, swap, drain.
+
+        Ordering is what makes this safe — and cheap — under traffic:
+
+        1. shards the plan adds are spawned and synced to every live
+           registry version (active loaded, staged warmed) with **no
+           serving lock held**: they are unroutable until the map swaps,
+           so the old placement keeps serving while the slow work
+           (process boot, blob deserialize) happens off to the side;
+        2. every shard's lock is then taken (index order, the same order
+           :meth:`run` uses) — in-flight batches finish first and no new
+           command can dispatch mid-swap;
+        3. the shard map swaps — a single reference assignment, so the
+           next batch routes by the new table against fully warm workers;
+        4. shards the plan removed are drained (their queues are empty
+           under the held locks) and stopped.
+
+        No response is dropped (nothing in flight crosses the swap), no
+        batch mixes versions (per-run version sync is untouched), and
+        numerics cannot move: every worker serves the same checkpoint
+        bytes, so *which* worker executes a command is unobservable in
+        the scores.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        with self._migrate_lock:
+            new_map = self._check_plan(plan)
+            new_count = new_map.num_shards
+            new_shards: list[_Shard] = []
+            blobs_synced = 0
+            try:
+                for index in range(len(self._shards), new_count):
+                    shard = _Shard(index=index)
+                    with shard.lock:
+                        blobs_synced += self._sync_new_shard_locked(shard)
+                    new_shards.append(shard)
+            except BaseException:
+                # A failed sync must not leak the workers already booted.
+                for shard in new_shards:
+                    with shard.lock:
+                        self._retire_shard_locked(shard)
+                raise
+            acquired: list[_Shard] = []
+            try:
+                for shard in list(self._shards):
+                    shard.lock.acquire()
+                    acquired.append(shard)
+                for shard in new_shards:
+                    shard.lock.acquire()
+                    acquired.append(shard)
+                    self._shards.append(shard)
+                retired = self._shards[new_count:]
+                del self._shards[new_count:]
+                self.shard_map = new_map
+                self.num_shards = new_count
+                for shard in retired:
+                    self._retire_shard_locked(shard)
+            finally:
+                for shard in acquired:
+                    shard.lock.release()
+        return {
+            "placement": "process",
+            "map_version": new_map.version,
+            "num_shards": new_count,
+            "moves": len(plan.moves),
+            "workers_spawned": len(new_shards),
+            "blobs_synced": blobs_synced,
+            "workers_retired": len(retired),
+        }
+
+    # ------------------------------------------------------------------ #
     # observability / lifecycle
     # ------------------------------------------------------------------ #
 
@@ -726,15 +927,17 @@ class ProcessShardExecutor(Executor):
 
     def stats(self) -> dict:
         """Summed evaluator cache counters across live workers."""
+        # Snapshot: a concurrent migration may grow/shrink the list.
+        shards = list(self._shards)
         total: dict[str, int] = {}
-        for shard in self._shards:
+        for shard in shards:
             payload = self._worker_stats(shard)
             if not payload:
                 continue
             for key, value in payload.items():
                 if isinstance(value, (int, float)):
                     total[key] = total.get(key, 0) + value
-        total["worker_restarts"] = sum(s.restarts for s in self._shards)
+        total["worker_restarts"] = sum(s.restarts for s in shards)
         return total
 
     def shard_stats(self) -> list[dict]:
@@ -749,14 +952,14 @@ class ProcessShardExecutor(Executor):
                 "known_kernels": len(shard.known),
                 "live_versions": len(shard.loaded),
             }
-            for shard in self._shards
+            for shard in list(self._shards)
         ]
 
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
-        for shard in self._shards:
+        for shard in list(self._shards):
             with shard.lock:
                 if shard.process is None:
                     continue

@@ -249,6 +249,21 @@ class ModelRegistry:
         with self._lock:
             return list(self._order)
 
+    @property
+    def live_versions(self) -> tuple[str, ...]:
+        """Versions an executor must keep warm: active first, then staged.
+
+        This is the blob-sync set for placement changes — a newly spawned
+        shard worker is synced to every live version before the shard map
+        swaps to it, so a mid-rollout migration can serve a canary- or
+        shadow-routed batch from the new worker without a cold blob load
+        (and without ever mixing versions inside a batch).
+        """
+        with self._lock:
+            return tuple(
+                v for v in (self._active, self._staged) if v is not None
+            )
+
     def get(self, version: str) -> TrainResult:
         """Deserialize (memoized) the checkpoint stored under ``version``."""
         with self._lock:

@@ -119,23 +119,45 @@ class ReplicaPool:
             raise ValueError("replicas must be >= 1")
         self.version = version
         self.result = result
-        shared = None
+        self.max_cached_kernels = max_cached_kernels
+        self._shared_cache = None
         if share_kernel_cache:
-            shared = KernelCache(
+            self._shared_cache = KernelCache(
                 result.scalers,
                 neighbor_cap=result.model.config.neighbor_cap,
                 max_entries=replicas * max_cached_kernels,
             )
-        self.replicas = [
-            LearnedEvaluator(
-                result.model,
-                result.scalers,
-                cache=True,
-                max_cached_kernels=max_cached_kernels,
-                batch_cache=shared,
-            )
-            for _ in range(replicas)
-        ]
+        self.replicas = [self._build_replica() for _ in range(replicas)]
+
+    def _build_replica(self) -> LearnedEvaluator:
+        return LearnedEvaluator(
+            self.result.model,
+            self.result.scalers,
+            cache=True,
+            max_cached_kernels=self.max_cached_kernels,
+            batch_cache=self._shared_cache,
+        )
+
+    def resize(self, replicas: int) -> None:
+        """Grow or shrink the pool to ``replicas`` shards in place.
+
+        The replica-autoscaling hook: new replicas share the model and
+        (when sharing) the kernel cache, whose bound rescales with the
+        pool so total precompute capacity keeps matching the unshared
+        configuration; shrinking simply drops the tail replicas (their
+        private memos with them). Callers must not run commands
+        concurrently with a resize — the serving layer serializes both
+        under its execution lock.
+        """
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if replicas < len(self.replicas):
+            del self.replicas[replicas:]
+        else:
+            while len(self.replicas) < replicas:
+                self.replicas.append(self._build_replica())
+        if self._shared_cache is not None:
+            self._shared_cache.max_entries = replicas * self.max_cached_kernels
 
     def __len__(self) -> int:
         return len(self.replicas)

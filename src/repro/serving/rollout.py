@@ -207,6 +207,15 @@ class RolloutConfig:
             error exceeds the active version's by more than this.
         start_phase: ``"shadow"`` (default: observe before serving) or
             ``"canary"`` (skip shadow, go straight to a traffic slice).
+        max_seconds_per_phase: wall-clock ceiling per phase, alongside
+            the sample budget. The sample budget alone only concludes a
+            rollout that *sees traffic*; a bursty or low-volume
+            deployment could otherwise hold a staged checkpoint (and its
+            warm executor state) in limbo indefinitely. At the ceiling
+            the phase is decided on whatever evidence exists: a window
+            already within the promote margin advances, anything else —
+            including no evidence at all — rolls back. ``None``
+            (default) keeps the sample budget as the only bound.
     """
 
     canary_fraction: float = 0.25
@@ -216,6 +225,7 @@ class RolloutConfig:
     promote_margin: float = 0.05
     abort_margin: float = 0.15
     start_phase: str = SHADOW
+    max_seconds_per_phase: float | None = None
 
     def __post_init__(self) -> None:
         if self.start_phase not in (SHADOW, CANARY):
@@ -226,6 +236,8 @@ class RolloutConfig:
             raise ValueError("max_samples_per_phase must be >= min_samples")
         if self.abort_margin < self.promote_margin:
             raise ValueError("abort_margin must be >= promote_margin")
+        if self.max_seconds_per_phase is not None and self.max_seconds_per_phase <= 0:
+            raise ValueError("max_seconds_per_phase must be > 0 (or None)")
 
 
 @dataclass(frozen=True)
@@ -249,6 +261,8 @@ class RolloutController:
         feedback: the collector whose per-version error windows supply
             the evidence (the service should share this instance).
         config: thresholds; defaults are conservative.
+        clock: injectable monotonic clock backing the per-phase
+            wall-clock budget (tests drive it with a fake).
 
     The controller is intentionally *pulled*, not threaded: callers
     invoke :meth:`step` at their own cadence (per request, per batch,
@@ -261,15 +275,18 @@ class RolloutController:
         service,
         feedback: FeedbackCollector,
         config: RolloutConfig | None = None,
+        clock=time.monotonic,
     ) -> None:
         self.service = service
         self.feedback = feedback
         self.config = config or RolloutConfig()
+        self._clock = clock
         self._lock = threading.Lock()
         self.state = IDLE
         self.staged: str | None = None
         self._active_at_stage: str | None = None
         self._phase_entry_count = 0
+        self._phase_entered_at: float | None = None
         self.transitions: list[RolloutTransition] = []
 
     # ------------------------------------------------------------------ #
@@ -309,6 +326,7 @@ class RolloutController:
                 next_state = SHADOW
             self.service.set_rollout(policy)
             self._phase_entry_count = self.feedback.error_window(staged).total
+            self._phase_entered_at = self._clock()
             self._transition_locked(next_state, "staged")
             return staged
 
@@ -323,6 +341,13 @@ class RolloutController:
         2. staged mean error <= active + ``promote_margin`` → advance
            (shadow → canary, canary → promote);
         3. still undecided after ``max_samples_per_phase`` → roll back.
+
+        With ``max_seconds_per_phase`` set, hitting the wall-clock
+        ceiling forces a decision on whatever evidence exists: a window
+        already within the promote margin advances, anything else —
+        insufficient samples included — rolls back. Bursty and
+        low-traffic deployments therefore always converge to a terminal
+        state; they never hold a staged checkpoint in limbo.
         """
         with self._lock:
             if self.state not in (SHADOW, CANARY):
@@ -333,7 +358,20 @@ class RolloutController:
             # bounded window count — a saturated ring buffer must not
             # freeze the budget clock.
             fresh = staged_window.total - self._phase_entry_count
+            timed_out = (
+                self.config.max_seconds_per_phase is not None
+                and self._phase_entered_at is not None
+                and self._clock() - self._phase_entered_at
+                >= self.config.max_seconds_per_phase
+            )
             if fresh < self.config.min_samples or active_window.count == 0:
+                if timed_out:
+                    return self._rollback_locked(
+                        f"phase wall-clock budget "
+                        f"({self.config.max_seconds_per_phase:.1f}s) exhausted "
+                        f"with {fresh} samples (< min_samples "
+                        f"{self.config.min_samples})"
+                    )
                 return self.state
             gap = staged_window.mean_error - active_window.mean_error
             if gap > self.config.abort_margin:
@@ -347,6 +385,12 @@ class RolloutController:
                 return self._rollback_locked(
                     f"undecided after {fresh} samples "
                     f"(gap {gap:.4f} between margins)"
+                )
+            if timed_out:
+                return self._rollback_locked(
+                    f"phase wall-clock budget "
+                    f"({self.config.max_seconds_per_phase:.1f}s) exhausted, "
+                    f"undecided (gap {gap:.4f} between margins)"
                 )
             return self.state
 
@@ -369,6 +413,7 @@ class RolloutController:
                 )
             )
             self._phase_entry_count = staged_total
+            self._phase_entered_at = self._clock()
             return self._transition_locked(CANARY, "shadow window within margin")
         self.service.registry.activate(self.staged)
         self.service.set_rollout(FullActivation())

@@ -76,6 +76,11 @@ class MicroBatcher:
     #: first requests of the next burst.
     _GAP_CLAMP_S = 0.25
 
+    #: Smoothing weight of the queue-pressure EMA (sampled at each batch
+    #: cut as pending / max_batch_size — the placement controller's
+    #: autoscaling signal).
+    _PRESSURE_ALPHA = 0.2
+
     def __init__(
         self,
         max_batch_size: int = 64,
@@ -94,6 +99,7 @@ class MicroBatcher:
         self.adaptive_flush = adaptive_flush
         self.gap_ema_alpha = gap_ema_alpha
         self._gap_ema: float | None = None
+        self._pressure_ema = 0.0
         self._last_arrival: float | None = None
         self._lock = threading.Lock()
         self._nonempty = threading.Condition(self._lock)
@@ -172,6 +178,12 @@ class MicroBatcher:
                 if deadline is not None:
                     remaining = deadline - time.perf_counter()
                     if remaining <= 0:
+                        if not self._pending:
+                            # An idle tick is a genuine zero-pressure
+                            # observation: without it the EMA would
+                            # freeze at the last burst's value and keep
+                            # autoscaling long after traffic stopped.
+                            self._pressure_ema *= 1.0 - self._PRESSURE_ALPHA
                         return []
                     wait = remaining if wait is None else min(wait, remaining)
                 self._nonempty.wait(wait)
@@ -188,7 +200,24 @@ class MicroBatcher:
             self._closed = True
             self._nonempty.notify_all()
 
+    def queue_pressure(self) -> float:
+        """Smoothed backlog at batch-cut time, in units of batch capacity.
+
+        ~0 means batches are cut with room to spare (arrivals are the
+        bottleneck); ~1 means every cut goes out full with a queue still
+        behind it (execution is the bottleneck); > 1 means the backlog
+        exceeds one batch — the signal the placement controller's replica
+        autoscaling grows the shard count on.
+        """
+        with self._lock:
+            return self._pressure_ema
+
     def _cut(self) -> list[PendingRequest]:
+        depth = len(self._pending) / self.max_batch_size
+        self._pressure_ema = (
+            (1.0 - self._PRESSURE_ALPHA) * self._pressure_ema
+            + self._PRESSURE_ALPHA * depth
+        )
         batch = self._pending[: self.max_batch_size]
         del self._pending[: self.max_batch_size]
         return batch

@@ -66,6 +66,7 @@ from .executors import (
     TileCommand,
 )
 from .feedback import FeedbackCollector, request_key
+from .placement import RebalancePlan, ShardMap
 from .protocol import (
     KernelRuntimeRequest,
     ProgramRuntimesRequest,
@@ -75,7 +76,7 @@ from .protocol import (
 )
 from .registry import ModelRegistry
 from .replica import ResultCache
-from .rollout import FullActivation, RolloutPolicy
+from .rollout import FullActivation, RolloutPolicy, request_unit_hash
 from .scheduler import MicroBatcher, PendingRequest
 
 EXECUTOR_CHOICES = ("thread", "process")
@@ -115,6 +116,18 @@ class ServiceConfig:
             policy the ``process`` executor already applies per worker).
             Changes batch shape, so scores move at float32 BLAS rounding
             level versus the per-kernel-forward default.
+        placement_buckets: bucket count of the executor's
+            :class:`~repro.serving.placement.ShardMap` — the granularity
+            rebalance plans move. The default uniform map routes
+            identically to the legacy ``fingerprint % n`` whenever the
+            bucket count is a multiple of the shard count.
+        shadow_cache_hit_fraction: fraction of result-cache *hits*
+            sampled into shadow batches during a rollout (deterministic
+            by request hash). Cache hits bypass execution — and with it
+            shadow scoring — so a high-hit-rate deployment would starve
+            the staged version's evidence window; sampled hits are
+            re-scored off the response path to keep it filling. 0
+            (default) disables.
     """
 
     max_batch_size: int = 64
@@ -128,6 +141,8 @@ class ServiceConfig:
     share_kernel_cache: bool = True
     max_live_versions: int = 2
     fuse_tile_commands: bool = False
+    placement_buckets: int = 64
+    shadow_cache_hit_fraction: float = 0.0
 
 
 class CostModelService:
@@ -183,10 +198,20 @@ class CostModelService:
         self._rollout_lock = threading.Lock()
         self.executor = executor or self._build_executor()
         self._exec_lock = threading.Lock()
+        self._shadow_backlog: list[tuple[str, PendingRequest]] = []
+        self._backlog_lock = threading.Lock()
         self._thread: threading.Thread | None = None
         self._closed = False
 
+    #: Bound on cache-hit shadow requests awaiting an execution slot — a
+    #: stalled executor must not queue shadow work without limit.
+    _SHADOW_BACKLOG_CAP = 512
+
     def _build_executor(self) -> Executor:
+        shard_map = ShardMap.uniform(
+            self.config.replicas, max(self.config.placement_buckets,
+                                      self.config.replicas)
+        )
         if self.config.executor == "thread":
             return InThreadExecutor(
                 self.registry,
@@ -195,6 +220,7 @@ class CostModelService:
                 share_kernel_cache=self.config.share_kernel_cache,
                 max_live_versions=self.config.max_live_versions,
                 fuse_tile_commands=self.config.fuse_tile_commands,
+                shard_map=shard_map,
             )
         if self.config.executor == "process":
             return ProcessShardExecutor(
@@ -203,11 +229,57 @@ class CostModelService:
                 max_cached_kernels=self.config.max_cached_kernels,
                 start_method=self.config.executor_start_method,
                 max_live_versions=self.config.max_live_versions,
+                shard_map=shard_map,
             )
         raise ValueError(
             f"unknown executor {self.config.executor!r}; "
             f"choose from {EXECUTOR_CHOICES}"
         )
+
+    # ------------------------------------------------------------------ #
+    # placement control plane
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shard_map(self) -> ShardMap | None:
+        """The executor's versioned fingerprint → shard assignment."""
+        return getattr(self.executor, "shard_map", None)
+
+    def rebalance(self, plan: RebalancePlan) -> dict:
+        """Apply a placement plan at a micro-batch boundary.
+
+        Holds the execution lock, so the executor's migration (spawn /
+        sync / swap / drain) happens strictly between batches — no
+        in-flight response is dropped and no executed batch spans two
+        maps. Afterwards the per-shard stats are brought in line with
+        the new placement: retired shards' counters merge into their
+        heirs (``plan.relabel``), and surviving shards whose bucket set
+        changed are reset — their history no longer describes what they
+        serve.
+
+        Returns the executor's migration summary, augmented with the
+        plan's reason.
+        """
+        with self._exec_lock:
+            old_shards = self.executor.num_shards
+            summary = self.executor.apply_plan(plan)
+            if plan.relabel:
+                self.stats.relabel_shards(plan.relabel)
+            new_shards = plan.new_map.num_shards
+            retired = [
+                shard
+                for shard in range(new_shards, old_shards)
+                if shard not in plan.relabel
+            ]
+            if retired:
+                self.stats.reset_shards(retired)
+            heirs = set(plan.relabel.values())
+            affected = [s for s in plan.affected_shards if s not in heirs]
+            if affected:
+                self.stats.reset_shards(affected)
+            self.stats.record_placement_change(len(plan.moves))
+        summary["reason"] = plan.reason
+        return summary
 
     # ------------------------------------------------------------------ #
     # rollout control plane
@@ -297,10 +369,14 @@ class CostModelService:
         result cache without queueing (latency ~0, no forward). The cache
         lookup follows the rollout routing — a canary-routed request only
         ever hits the staged version's cache slice, so cached responses
-        obey the same version-purity as executed ones.
+        obey the same version-purity as executed ones. During a rollout a
+        configurable fraction of cache hits is additionally sampled into
+        the shadow backlog (``shadow_cache_hit_fraction``), so staged
+        evidence keeps flowing even when the cache answers everything.
         """
         active = self.registry.active_version
-        version = self._route(self.get_rollout(), request, active)
+        policy = self.get_rollout()
+        version = self._route(policy, request, active)
         try:
             key = request.cache_key()
         except Exception:
@@ -319,10 +395,60 @@ class CostModelService:
                 )
                 self.stats.record_response(0.0, cache_hit=True)
                 self.stats.record_route(version, canary=version != active)
+                self._maybe_shadow_cache_hit(policy, request, version)
                 future: Future = Future()
                 future.set_result(response)
                 return future
         return self.scheduler.submit(request)
+
+    def _maybe_shadow_cache_hit(
+        self, policy: RolloutPolicy, request: Request, routed: str
+    ) -> None:
+        """Sample a result-cache hit into the shadow backlog.
+
+        Whatever the policy's shadow rule (a ``CanaryFraction`` has
+        none), the staged version is the evidence target: the hit never
+        executed, so its staged score is missing from the feedback
+        window either way. Deterministic hash sampling keeps the
+        re-scored subset stable across processes and runs.
+        """
+        fraction = self.config.shadow_cache_hit_fraction
+        if fraction <= 0.0:
+            return
+        staged = policy.staged_version
+        if staged is None or staged == routed or staged not in self.registry:
+            return
+        try:
+            if request_unit_hash(request, salt="cache-hit-shadow") >= fraction:
+                return
+        except Exception:
+            return
+        pending = PendingRequest(request=request, enqueued_at=time.perf_counter())
+        with self._backlog_lock:
+            if len(self._shadow_backlog) >= self._SHADOW_BACKLOG_CAP:
+                return
+            self._shadow_backlog.append((staged, pending))
+        self.stats.record_cache_hit_shadow()
+
+    def _drain_shadow_backlog(self) -> None:
+        """Execute sampled cache-hit shadows, off the response path.
+
+        Runs on the worker thread (or from :meth:`flush`), never inside
+        :meth:`_execute` — the backlog drains strictly *between*
+        micro-batches, so shadow work can never delay a response it
+        shares the executor with beyond one batch.
+        """
+        with self._backlog_lock:
+            if not self._shadow_backlog:
+                return
+            backlog, self._shadow_backlog = self._shadow_backlog, []
+        groups: dict[str, list[PendingRequest]] = {}
+        for version, pending in backlog:
+            groups.setdefault(version, []).append(pending)
+        with self._exec_lock:
+            for version, group in groups.items():
+                if version in self.registry:
+                    self._execute_shadow(version, group)
 
     def flush(self) -> int:
         """Execute everything currently pending on the caller's thread.
@@ -335,6 +461,7 @@ class CostModelService:
         while True:
             batch = self.scheduler.drain()
             if not batch:
+                self._drain_shadow_backlog()
                 return processed
             self._execute_safe(batch)
             processed += len(batch)
@@ -383,9 +510,13 @@ class CostModelService:
         snapshot["executor"] = type(self.executor).__name__
         snapshot["replicas"] = float(self.executor.num_shards)
         snapshot["pending"] = float(len(self.scheduler))
+        snapshot["queue_pressure"] = self.scheduler.queue_pressure()
         snapshot["flush_interval_effective_s"] = (
             self.scheduler.effective_flush_interval()
         )
+        shard_map = self.shard_map
+        if shard_map is not None:
+            snapshot["placement"] = shard_map.describe()
         return snapshot
 
     # ------------------------------------------------------------------ #
@@ -399,6 +530,7 @@ class CostModelService:
                 self._execute_safe(batch)
             elif self._closed:
                 return
+            self._drain_shadow_backlog()
 
     def _execute_safe(self, batch: list[PendingRequest]) -> None:
         """Execute a batch; a failure fails the batch, never the worker."""

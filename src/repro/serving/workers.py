@@ -16,6 +16,11 @@ the parent ships a new version. Workers communicate over a
   or ``("miss", version)`` when the LRU evicted it (the parent then falls
   back to a full ``load`` — the same miss/retry contract as kernel
   interning).
+* ``("warm", version, blob)`` — deserialize ``blob`` into the per-version
+  LRU **without** switching the current evaluator; replies
+  ``("ok", version)``. Placement migrations use this to sync a freshly
+  spawned shard worker to every live (active + staged) version before
+  the shard map swaps traffic onto it.
 * ``("tiles", fingerprint, kernel_or_None, dims_list)`` — score candidate
   tiles (tile configs cross the pipe as raw dims tuples). Kernels are
   *interned* by fingerprint on first sight so the steady-state request
@@ -102,6 +107,19 @@ def shard_worker(
                 lru_touch(evaluators, new_version, evaluator, max_live_versions)
                 version = new_version
                 conn.send(("ok", version))
+            elif op == "warm":
+                _, warm_version, blob = message
+                warmed = evaluators.get(warm_version)
+                if warmed is None:
+                    warmed = LearnedEvaluator.from_checkpoint_bytes(
+                        blob, max_cached_kernels=max_cached_kernels
+                    )
+                lru_touch(evaluators, warm_version, warmed, max_live_versions)
+                if version is not None and version not in evaluators:
+                    # Never let warming evict the version that is
+                    # currently serving: re-touch it most-recent.
+                    lru_touch(evaluators, version, evaluator, max_live_versions)
+                conn.send(("ok", warm_version))
             elif op == "use":
                 _, target = message
                 cached = evaluators.get(target)

@@ -682,6 +682,264 @@ class TestCanaryServing:
 
 
 # ---------------------------------------------------------------------- #
+# wall-clock phase budgets
+# ---------------------------------------------------------------------- #
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _timed_controller(service, feedback, clock, **overrides):
+    defaults = dict(
+        min_samples=4,
+        max_samples_per_phase=100,
+        promote_margin=0.05,
+        abort_margin=1.0,
+        start_phase=CANARY,
+        canary_fraction=1.0,
+        max_seconds_per_phase=30.0,
+    )
+    defaults.update(overrides)
+    return RolloutController(
+        service, feedback, RolloutConfig(**defaults), clock=clock
+    )
+
+
+class TestTimeBudgets:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RolloutConfig(max_seconds_per_phase=0.0)
+        with pytest.raises(ValueError):
+            RolloutConfig(max_seconds_per_phase=-1.0)
+        assert RolloutConfig(max_seconds_per_phase=None).max_seconds_per_phase is None
+
+    def test_timeout_without_evidence_rolls_back(self, result_a):
+        """A bursty/low-traffic deployment that never reaches min_samples
+        must still conclude: the wall-clock ceiling rolls it back."""
+        registry = ModelRegistry()
+        registry.publish(result_a, version="good")
+        feedback = FeedbackCollector()
+        service = CostModelService(registry, ServiceConfig(), feedback=feedback)
+        clock = _FakeClock()
+        controller = _timed_controller(service, feedback, clock)
+        try:
+            controller.stage(result_a, version="slow")
+            assert controller.step() == CANARY  # within budget, no verdict
+            clock.now = 29.9
+            assert controller.step() == CANARY
+            clock.now = 30.0
+            assert controller.step() == ROLLED_BACK
+            assert registry.staged_version is None
+            assert registry.active_version == "good"
+            assert "wall-clock" in controller.transitions[-1].reason
+        finally:
+            service.stop()
+
+    def test_timeout_in_dead_zone_rolls_back(self, result_a):
+        """Evidence stuck between the margins at the ceiling concludes
+        too — the sample budget alone would have waited forever."""
+        registry = ModelRegistry()
+        registry.publish(result_a, version="good")
+        feedback = FeedbackCollector()
+        service = CostModelService(registry, ServiceConfig(), feedback=feedback)
+        clock = _FakeClock()
+        controller = _timed_controller(
+            service, feedback, clock, promote_margin=0.0, abort_margin=1.0
+        )
+        try:
+            controller.stage(result_a, version="meh")
+            for i in range(6):  # dead zone: staged worse, but under abort
+                feedback.record_prediction("meh", ("k", i), [1.0, 2.0, 3.0])
+                feedback.record_prediction("good", ("g", i), [1.0, 2.0, 3.0])
+                feedback.record_measurement(("k", i), [2.0, 1.0, 3.0])
+                feedback.record_measurement(("g", i), [1.0, 2.0, 3.0])
+            assert controller.step() == CANARY  # undecided, budget left
+            clock.now = 31.0
+            assert controller.step() == ROLLED_BACK
+            assert "undecided" in controller.transitions[-1].reason
+        finally:
+            service.stop()
+
+    def test_good_evidence_still_promotes_at_the_ceiling(self, result_a):
+        """The ceiling forces a *decision*, not a rollback: a window
+        within the promote margin advances even when time ran out."""
+        registry = ModelRegistry()
+        registry.publish(result_a, version="good")
+        feedback = FeedbackCollector()
+        service = CostModelService(registry, ServiceConfig(), feedback=feedback)
+        clock = _FakeClock()
+        controller = _timed_controller(service, feedback, clock)
+        try:
+            controller.stage(result_a, version="fine")
+            for i in range(4):
+                feedback.record_prediction("fine", ("k", i), [1.0, 2.0, 3.0])
+                feedback.record_prediction("good", ("g", i), [1.0, 2.0, 3.0])
+                feedback.record_measurement(("k", i), [1.0, 2.0, 3.0])
+                feedback.record_measurement(("g", i), [1.0, 2.0, 3.0])
+            clock.now = 1000.0
+            assert controller.step() == PROMOTED
+            assert registry.active_version == "fine"
+        finally:
+            service.stop()
+
+    def test_phase_clock_resets_on_shadow_to_canary(self, result_a):
+        """Each phase gets its own wall-clock budget: time spent in
+        shadow does not count against the canary phase."""
+        registry = ModelRegistry()
+        registry.publish(result_a, version="good")
+        feedback = FeedbackCollector()
+        service = CostModelService(registry, ServiceConfig(), feedback=feedback)
+        clock = _FakeClock()
+        controller = _timed_controller(
+            service, feedback, clock, start_phase=SHADOW, max_seconds_per_phase=10.0
+        )
+        try:
+            controller.stage(result_a, version="twophase")
+            for i in range(4):
+                feedback.record_prediction("twophase", ("k", i), [1.0, 2.0, 3.0])
+                feedback.record_prediction("good", ("g", i), [1.0, 2.0, 3.0])
+                feedback.record_measurement(("k", i), [1.0, 2.0, 3.0])
+                feedback.record_measurement(("g", i), [1.0, 2.0, 3.0])
+            clock.now = 8.0
+            assert controller.step() == CANARY  # advanced at t=8
+            clock.now = 16.0  # 16s total, but only 8s into the canary
+            assert controller.step() == CANARY
+            clock.now = 18.1  # 10.1s into the canary, no fresh samples
+            assert controller.step() == ROLLED_BACK
+        finally:
+            service.stop()
+
+    def test_no_ceiling_means_sample_budget_only(self, result_a):
+        registry = ModelRegistry()
+        registry.publish(result_a, version="good")
+        feedback = FeedbackCollector()
+        service = CostModelService(registry, ServiceConfig(), feedback=feedback)
+        clock = _FakeClock()
+        controller = _timed_controller(
+            service, feedback, clock, max_seconds_per_phase=None
+        )
+        try:
+            controller.stage(result_a, version="patient")
+            clock.now = 1e9
+            assert controller.step() == CANARY  # waits for samples forever
+        finally:
+            service.stop()
+
+
+# ---------------------------------------------------------------------- #
+# rollout-aware result cache
+# ---------------------------------------------------------------------- #
+
+
+class TestRolloutAwareResultCache:
+    def _service(self, result_a, result_bad, fraction):
+        registry = ModelRegistry()
+        registry.publish(result_a, version="active")
+        registry.stage(save_model_bytes(result_bad), version="staged")
+        feedback = FeedbackCollector()
+        service = CostModelService(
+            registry,
+            ServiceConfig(
+                result_cache_entries=64, shadow_cache_hit_fraction=fraction
+            ),
+            feedback=feedback,
+        )
+        return service, feedback
+
+    def test_cache_hits_feed_staged_shadow_evidence(self, corpus, result_a, result_bad):
+        """With shadow sampling off the execution path entirely
+        (sample_fraction=0), staged evidence can *only* come from the
+        sampled cache hits — the high-hit-rate deployment scenario."""
+        records, _ = corpus
+        service, feedback = self._service(result_a, result_bad, fraction=1.0)
+        try:
+            service.set_rollout(ShadowScore("staged", sample_fraction=0.0))
+            request = _request_stream(records, 1)[0]
+            future = service.submit(request)
+            service.flush()
+            executed = future.result(timeout=30)
+            assert not executed.cache_hit
+            assert service.metrics()["per_version"].get("staged", {}).get(
+                "shadow", 0.0
+            ) == 0.0
+            hit_future = service.submit(request)
+            hit = hit_future.result(timeout=30)
+            assert hit.cache_hit and hit.model_version == "active"
+            service.flush()  # drains the shadow backlog
+            metrics = service.metrics()
+            assert metrics["cache_hit_shadows"] == 1.0
+            assert metrics["per_version"]["staged"]["shadow"] == 1.0
+            assert metrics["shadow_forwards"] >= 1.0
+            # The staged prediction is pending a measurement join.
+            feedback.record_measurement(
+                request_key(request), [0.1, 0.2, 0.3, 0.4][: len(request.tiles)]
+            )
+            assert feedback.error_window("staged").count >= 1
+        finally:
+            service.stop()
+
+    def test_canary_cache_hits_also_sampled(self, corpus, result_a, result_bad):
+        """A canary policy has no shadow rule of its own; sampled cache
+        hits still target its staged version."""
+        records, _ = corpus
+        service, _ = self._service(result_a, result_bad, fraction=1.0)
+        try:
+            service.set_rollout(CanaryFraction("staged", fraction=0.0))
+            request = _request_stream(records, 1)[0]
+            service.submit(request)
+            service.flush()
+            service.submit(request)  # cache hit
+            service.flush()
+            metrics = service.metrics()
+            assert metrics["cache_hit_shadows"] == 1.0
+            assert metrics["per_version"]["staged"]["shadow"] == 1.0
+        finally:
+            service.stop()
+
+    def test_sampling_disabled_by_default(self, corpus, result_a, result_bad):
+        records, _ = corpus
+        service, _ = self._service(result_a, result_bad, fraction=0.0)
+        try:
+            service.set_rollout(ShadowScore("staged", sample_fraction=0.0))
+            request = _request_stream(records, 1)[0]
+            service.submit(request)
+            service.flush()
+            service.submit(request)
+            service.flush()
+            metrics = service.metrics()
+            assert metrics["cache_hit_shadows"] == 0.0
+            assert metrics["per_version"].get("staged", {}).get("shadow", 0.0) == 0.0
+        finally:
+            service.stop()
+
+    def test_no_rollout_means_no_sampling(self, corpus, result_a):
+        """Without a staged target the knob is inert — cache hits stay
+        free."""
+        records, _ = corpus
+        registry = ModelRegistry()
+        registry.publish(result_a, version="only")
+        service = CostModelService(
+            registry,
+            ServiceConfig(result_cache_entries=64, shadow_cache_hit_fraction=1.0),
+        )
+        try:
+            request = _request_stream(records, 1)[0]
+            service.submit(request)
+            service.flush()
+            hit = service.submit(request).result(timeout=30)
+            assert hit.cache_hit
+            service.flush()
+            assert service.metrics()["cache_hit_shadows"] == 0.0
+        finally:
+            service.stop()
+
+
+# ---------------------------------------------------------------------- #
 # all three policies x both executors
 # ---------------------------------------------------------------------- #
 

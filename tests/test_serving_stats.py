@@ -147,6 +147,120 @@ class TestRespawnBreakdown:
             service.stop()
 
 
+class TestRebalanceRelabeling:
+    """Per-shard counters across a placement change: retired shards'
+    history merges into heirs (relabel), reassigned shards reset, and
+    service-lifetime totals behave predictably through both."""
+
+    def _loaded_stats(self):
+        stats = ServingStats()
+        for shard, n in ((0, 10), (1, 20), (2, 30)):
+            for i in range(n):
+                stats.record_response(
+                    0.001 * (shard + 1), cache_hit=False,
+                    error=i == 0, shard=shard,
+                )
+            stats.record_shard(shard, forwards=n // 2)
+        return stats
+
+    def test_relabel_merges_counters_and_latencies(self):
+        stats = self._loaded_stats()
+        stats.relabel_shards({2: 0})
+        snapshot = stats.shard_snapshot()
+        assert set(snapshot) == {"0", "1"}
+        assert snapshot["0"]["requests"] == 40.0  # 10 own + 30 inherited
+        assert snapshot["0"]["errors"] == 2.0
+        assert snapshot["0"]["forwards"] == 20.0
+        # The heir's latency window includes the retired shard's samples.
+        assert snapshot["0"]["latency_max_s"] == pytest.approx(0.003)
+        # Service-lifetime totals are conserved.
+        assert sum(e["requests"] for e in snapshot.values()) == 60.0
+
+    def test_relabel_into_fresh_shard_creates_it(self):
+        stats = self._loaded_stats()
+        stats.relabel_shards({1: 5})
+        snapshot = stats.shard_snapshot()
+        assert snapshot["5"]["requests"] == 20.0
+        assert "1" not in snapshot
+
+    def test_relabel_of_unknown_source_is_a_noop(self):
+        stats = self._loaded_stats()
+        stats.relabel_shards({7: 0})
+        assert stats.shard_snapshot()["0"]["requests"] == 10.0
+
+    def test_reset_clears_only_the_listed_shards(self):
+        stats = self._loaded_stats()
+        stats.reset_shards([0, 2])
+        snapshot = stats.shard_snapshot()
+        assert set(snapshot) == {"1"}
+        assert snapshot["1"]["requests"] == 20.0
+        # A reset shard accumulates cleanly from zero afterwards.
+        stats.record_response(0.002, cache_hit=False, shard=0)
+        assert stats.shard_snapshot()["0"]["requests"] == 1.0
+
+    def test_placement_change_counters(self):
+        stats = ServingStats()
+        stats.record_placement_change(moves=3)
+        stats.record_placement_change(moves=2)
+        snap = stats.snapshot()
+        assert snap["placement_changes"] == 2.0
+        assert snap["placement_moves"] == 5.0
+
+    def test_concurrent_readers_never_see_torn_relabels(self):
+        """Relabels move counters between shards while writers append and
+        readers snapshot: every snapshot must be internally consistent —
+        the running total across shards never decreases (a torn merge
+        would lose or double requests) and no reader ever raises."""
+        stats = ServingStats()
+        writers, per_writer = 4, 400
+        stop = threading.Event()
+        errors: list[BaseException] = []
+        max_total = writers * per_writer
+
+        def read() -> None:
+            try:
+                last_total = 0.0
+                while not stop.is_set():
+                    snapshot = stats.shard_snapshot()
+                    total = sum(e["requests"] for e in snapshot.values())
+                    assert last_total <= total <= max_total, (
+                        f"torn snapshot: {last_total} -> {total}"
+                    )
+                    last_total = total
+            except BaseException as exc:
+                errors.append(exc)
+
+        def write(worker: int) -> None:
+            for i in range(per_writer):
+                stats.record_response(0.001, cache_hit=False, shard=worker % 3)
+
+        def relabel() -> None:
+            # Churn counters between shard labels; merges conserve
+            # totals, so readers must never observe a dip.
+            while not stop.is_set():
+                stats.relabel_shards({2: 0})
+                stats.relabel_shards({1: 2})
+                time.sleep(0)
+
+        readers = [threading.Thread(target=read) for _ in range(2)]
+        relabeler = threading.Thread(target=relabel)
+        writer_threads = [
+            threading.Thread(target=write, args=(w,)) for w in range(writers)
+        ]
+        for t in readers + [relabeler] + writer_threads:
+            t.start()
+        for t in writer_threads:
+            t.join()
+        stop.set()
+        for t in readers + [relabeler]:
+            t.join()
+        assert not errors
+        total = sum(
+            e["requests"] for e in stats.shard_snapshot().values()
+        )
+        assert total == float(max_total)
+
+
 class TestConcurrentReaders:
     def test_snapshots_stay_consistent_under_writer_load(self):
         """Readers hammer every snapshot surface while writers record;
