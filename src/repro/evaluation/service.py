@@ -113,6 +113,11 @@ class ServingStats:
         self.cache_hit_shadows = 0
         self.placement_changes = 0
         self.placement_moves = 0
+        self.degraded = 0
+        self.deadline_expired = 0
+        self.overload_rejections = 0
+        self.abandoned = 0
+        self.breaker_blocks = 0
         self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
         self._shards: dict[int, _ShardStats] = {}
         self._versions: dict[str, _VersionStats] = {}
@@ -209,6 +214,42 @@ class ServingStats:
         is re-scored off-path to keep staged evidence flowing)."""
         with self._lock:
             self.cache_hit_shadows += 1
+
+    # ------------------------------------------------------------------ #
+    # resilience
+    # ------------------------------------------------------------------ #
+
+    def record_degraded(self) -> None:
+        """Account one response answered by the analytical fallback
+        (tagged ``degraded=True`` on the wire — served, but not by a
+        published checkpoint)."""
+        with self._lock:
+            self.degraded += 1
+
+    def record_deadline_expired(self) -> None:
+        """Account one request shed before dispatch because its deadline
+        had already elapsed."""
+        with self._lock:
+            self.deadline_expired += 1
+
+    def record_overload_rejection(self) -> None:
+        """Account one submission shed by admission control (the
+        scheduler queue was at its ``max_pending`` bound)."""
+        with self._lock:
+            self.overload_rejections += 1
+
+    def record_abandoned(self) -> None:
+        """Account one queued request whose future was already resolved
+        at dispatch time (its client disconnected); no forward was spent
+        on it."""
+        with self._lock:
+            self.abandoned += 1
+
+    def record_breaker_block(self, requests: int = 1) -> None:
+        """Account requests diverted by an open circuit breaker (they
+        resolve via the degradation path, not the executor)."""
+        with self._lock:
+            self.breaker_blocks += requests
 
     # ------------------------------------------------------------------ #
     # placement transitions
@@ -340,6 +381,11 @@ class ServingStats:
                 "cache_hit_shadows": float(self.cache_hit_shadows),
                 "placement_changes": float(self.placement_changes),
                 "placement_moves": float(self.placement_moves),
+                "degraded": float(self.degraded),
+                "deadline_expired": float(self.deadline_expired),
+                "overload_rejections": float(self.overload_rejections),
+                "abandoned": float(self.abandoned),
+                "breaker_blocks": float(self.breaker_blocks),
                 "requests_per_forward": (
                     self.batched_requests / self.model_forwards if self.model_forwards else 0.0
                 ),

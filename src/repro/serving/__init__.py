@@ -29,8 +29,26 @@ predictions with measured runtimes into per-version accuracy windows,
 and the :class:`RolloutController` promotes or rolls back staged
 checkpoints from that evidence — the continuous-learning loop's
 actuator.
+
+Resilience (:mod:`repro.serving.faults` + :mod:`repro.serving.resilience`)
+hardens all three layers: a deterministic fault-injection harness
+(:class:`FaultPlan` / :class:`FaultInjector`), per-request deadlines,
+client retries (:class:`RetryPolicy`), per-shard circuit breakers
+(:class:`CircuitBreaker`), crash-loop respawn backoff, and graceful
+degradation to the analytical TPU model (:class:`AnalyticalFallback`) —
+the serving contract being that every request resolves within its
+deadline as an answer, a typed error, or a ``degraded`` analytical
+answer, never a hang.
 """
 from .client import EvaluatorClient, ServiceEvaluator, SocketEvaluator
+from .faults import (
+    FAULT_HOOKS,
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    corrupt_bytes,
+)
 from .feedback import (
     FeedbackCollector,
     FeedbackSample,
@@ -58,6 +76,11 @@ from .placement import (
     ShardMap,
 )
 from .protocol import (
+    ERROR_DEADLINE_EXCEEDED,
+    ERROR_DISCONNECTED,
+    ERROR_OVERLOADED,
+    ERROR_UNAVAILABLE,
+    ERROR_WORKER_FAILURE,
     NEED_KERNEL_PREFIX,
     KernelRuntimeRequest,
     ProgramRuntimesRequest,
@@ -74,6 +97,22 @@ from .protocol import (
 )
 from .registry import ModelRegistry
 from .replica import ReplicaPool, ResultCache, shard_of
+from .resilience import (
+    ANALYTICAL_VERSION,
+    AnalyticalFallback,
+    CircuitBreaker,
+    ConnectionLost,
+    CrashLoopBackoff,
+    DeadlineExceeded,
+    Overloaded,
+    RetryPolicy,
+    ServiceUnavailable,
+    ServingFault,
+    WorkerFailure,
+    fault_for,
+    idempotency_key,
+    raise_for,
+)
 from .rollout import (
     CANARY,
     IDLE,
@@ -95,21 +134,37 @@ from .scheduler import MicroBatcher, PendingRequest
 from .service import EXECUTOR_CHOICES, CostModelService, ServiceConfig
 
 __all__ = [
+    "ANALYTICAL_VERSION",
     "CANARY",
     "DEFAULT_BUCKETS",
+    "ERROR_DEADLINE_EXCEEDED",
+    "ERROR_DISCONNECTED",
+    "ERROR_OVERLOADED",
+    "ERROR_UNAVAILABLE",
+    "ERROR_WORKER_FAILURE",
     "EXECUTOR_CHOICES",
+    "FAULT_HOOKS",
+    "FAULT_KINDS",
     "IDLE",
     "NEED_KERNEL_PREFIX",
     "PROMOTED",
     "ROLLED_BACK",
     "ROLLOUT_STATES",
     "SHADOW",
+    "AnalyticalFallback",
     "BucketMove",
     "CanaryFraction",
+    "CircuitBreaker",
     "CommandResult",
+    "ConnectionLost",
     "CostModelService",
+    "CrashLoopBackoff",
+    "DeadlineExceeded",
     "EvaluatorClient",
     "Executor",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
     "FeedbackCollector",
     "FeedbackSample",
     "Frontend",
@@ -119,6 +174,7 @@ __all__ = [
     "KernelRuntimeRequest",
     "MicroBatcher",
     "ModelRegistry",
+    "Overloaded",
     "PendingRequest",
     "PlacementConfig",
     "PlacementController",
@@ -130,6 +186,7 @@ __all__ = [
     "Request",
     "Response",
     "ResultCache",
+    "RetryPolicy",
     "RolloutConfig",
     "ShardMap",
     "RolloutController",
@@ -137,6 +194,8 @@ __all__ = [
     "RolloutTransition",
     "ServiceConfig",
     "ServiceEvaluator",
+    "ServiceUnavailable",
+    "ServingFault",
     "ShadowScore",
     "SocketEvaluator",
     "SocketFrontend",
@@ -146,10 +205,15 @@ __all__ = [
     "WindowSnapshot",
     "WireError",
     "WorkerDiedError",
+    "WorkerFailure",
+    "corrupt_bytes",
     "decode_request",
     "encode_request",
+    "fault_for",
+    "idempotency_key",
     "kernel_interner",
     "prediction_error",
+    "raise_for",
     "recv_frame",
     "regressed_checkpoint",
     "request_key",

@@ -21,8 +21,11 @@ coalesce into the same micro-batches.
 """
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import socket
+import time
+from concurrent import futures as _futures
 
 import numpy as np
 
@@ -40,11 +43,35 @@ from .protocol import (
     recv_frame,
     send_frame,
 )
+from .resilience import (
+    ConnectionLost,
+    DeadlineExceeded,
+    RetryPolicy,
+    ServingFault,
+    fault_for,
+    idempotency_key,
+)
 from .service import CostModelService
 
 
 class EvaluatorClient:
-    """Shared evaluator facade; transports implement :meth:`_call`.
+    """Shared evaluator facade; transports implement :meth:`_call_once`.
+
+    The shared :meth:`_call` wraps every transport round trip in the
+    resilience envelope: it stamps the client's default deadline on
+    requests that carry none, converts typed error responses into typed
+    :class:`~.resilience.ServingFault` exceptions, and — when a
+    :class:`~.resilience.RetryPolicy` is configured — retries retryable
+    faults with exponential backoff and deterministic jitter keyed by the
+    request's idempotency key (a retry is *the same request*: equal
+    content, equal cache key, so a replay is answer-idempotent).
+
+    Args:
+        deadline_s: default per-request deadline stamped on submissions
+            that carry none (None = no deadline, the pre-resilience
+            behavior).
+        retry: retry schedule for typed transient faults (None = fail on
+            the first fault, the pre-resilience behavior).
 
     Attributes:
         last_response: the most recent :class:`Response` (version stamp,
@@ -54,14 +81,68 @@ class EvaluatorClient:
             checkpoint version served — under a canary rollout this is
             the client-side view of the traffic split (transports fill it
             via :meth:`_record`).
+        retries: transport round trips beyond each request's first try.
+        degraded_responses: answers served by the analytical fallback
+            (tagged ``degraded=True`` by the service).
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        deadline_s: float | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         self.last_response: Response | None = None
         self.version_counts: dict[str, int] = {}
+        self.deadline_s = deadline_s
+        self.retry = retry
+        self.retries = 0
+        self.degraded_responses = 0
+
+    def _call_once(self, request: Request) -> Response:
+        """One transport round trip (implemented by transports). Raises
+        a typed :class:`~.resilience.ServingFault` on transport-level
+        failure; returns the response otherwise (which may itself carry
+        a typed ``error_code``)."""
+        raise NotImplementedError
+
+    def _stamp(self, request: Request) -> Request:
+        """Apply the client's default deadline to an unstamped request."""
+        if self.deadline_s is None:
+            return request
+        if getattr(request, "deadline_s", None) is not None:
+            return request
+        try:
+            return dataclasses.replace(request, deadline_s=self.deadline_s)
+        except TypeError:
+            return request  # foreign request-like object: pass through
 
     def _call(self, request: Request) -> Response:
-        raise NotImplementedError
+        request = self._stamp(request)
+        policy = self.retry
+        attempts = policy.max_attempts if policy is not None else 1
+        key = idempotency_key(request) if policy is not None else ""
+        fault: ServingFault | None = None
+        for attempt in range(attempts):
+            if attempt:
+                self.retries += 1
+                time.sleep(policy.backoff_s(attempt - 1, key))
+            try:
+                response = self._call_once(request)
+            except ServingFault as exc:
+                fault = exc
+                if policy is not None and policy.retryable(exc.code):
+                    continue
+                raise
+            fault = fault_for(response)
+            if fault is not None:
+                if policy is not None and policy.retryable(response.error_code):
+                    continue
+                raise fault
+            if response.degraded:
+                self.degraded_responses += 1
+            return self._record(response)
+        assert fault is not None
+        raise fault
 
     def _record(self, response: Response) -> Response:
         """Account one response (transports call this from ``_call``)."""
@@ -123,19 +204,35 @@ class ServiceEvaluator(EvaluatorClient):
     Args:
         service: the service to query (shared across clients).
         timeout_s: max seconds to wait for any one response.
+        deadline_s: default per-request deadline (see
+            :class:`EvaluatorClient`).
+        retry: retry schedule for typed transient faults. The service
+            raises :class:`~.resilience.Overloaded` at submission when
+            admission control sheds — with a policy, the client backs
+            off and resubmits.
     """
 
-    def __init__(self, service: CostModelService, timeout_s: float = 60.0) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        service: CostModelService,
+        timeout_s: float = 60.0,
+        deadline_s: float | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        super().__init__(deadline_s=deadline_s, retry=retry)
         self.service = service
         self.timeout_s = timeout_s
 
-    def _call(self, request: Request) -> Response:
-        future = self.service.submit(request)
+    def _call_once(self, request: Request) -> Response:
+        future = self.service.submit(request)  # may raise Overloaded
         if not self.service.is_running:
             self.service.flush()
-        response: Response = future.result(timeout=self.timeout_s)
-        return self._record(response)
+        try:
+            return future.result(timeout=self.timeout_s)
+        except _futures.TimeoutError:
+            raise DeadlineExceeded(
+                f"no response within timeout_s={self.timeout_s}"
+            ) from None
 
 
 class SocketEvaluator(EvaluatorClient):
@@ -145,6 +242,13 @@ class SocketEvaluator(EvaluatorClient):
         address: ``(host, port)`` of a listening
             :class:`~repro.serving.frontend.SocketFrontend`.
         timeout_s: socket timeout for connect and per-response waits.
+        deadline_s: default per-request deadline (see
+            :class:`EvaluatorClient`).
+        retry: retry schedule for typed transient faults. A broken or
+            reset connection surfaces as a retryable
+            :class:`~.resilience.ConnectionLost`; the next attempt
+            reconnects (with a fresh kernel-interning set — the server's
+            per-connection interner died with the old connection).
 
     One request is in flight per client at a time (the facade is
     synchronous); concurrency comes from many clients — each tuner
@@ -158,28 +262,72 @@ class SocketEvaluator(EvaluatorClient):
     queries for a warm kernel set pay almost no serialization.
     """
 
-    def __init__(self, address: tuple[str, int], timeout_s: float = 60.0) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        address: tuple[str, int],
+        timeout_s: float = 60.0,
+        deadline_s: float | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        super().__init__(deadline_s=deadline_s, retry=retry)
         self.address = (address[0], int(address[1]))
         self.timeout_s = timeout_s
         self._ids = itertools.count(1)
         self._known: set[str] = set()
-        self._sock = socket.create_connection(self.address, timeout=timeout_s)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock: socket.socket | None = None
+        self.reconnects = 0
+        self._connect()
+
+    def _connect(self) -> None:
+        """(Re)establish the connection; resets the interning contract."""
+        if self._sock is not None:
+            return
+        self._known.clear()
+        try:
+            sock = socket.create_connection(self.address, timeout=self.timeout_s)
+        except OSError as exc:
+            raise ConnectionLost(
+                f"cannot connect to {self.address[0]}:{self.address[1]}: {exc}"
+            ) from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+
+    def _disconnect(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        self._known.clear()
 
     def _roundtrip(self, body: bytes) -> Response:
         request_id = next(self._ids)
-        send_frame(self._sock, request_id, body)
-        while True:
-            frame = recv_frame(self._sock)
-            if frame is None:
-                raise WireError("server closed the connection mid-request")
-            reply_id, reply_body = frame
-            if reply_id != request_id:
-                continue  # stale reply from an abandoned request
-            return Response.from_bytes(reply_body)
+        try:
+            send_frame(self._sock, request_id, body)
+            while True:
+                frame = recv_frame(self._sock)
+                if frame is None:
+                    raise WireError("server closed the connection mid-request")
+                reply_id, reply_body = frame
+                if reply_id != request_id:
+                    continue  # stale reply from an abandoned request
+                return Response.from_bytes(reply_body)
+        except socket.timeout as exc:
+            # The connection may still carry the stale reply; it cannot
+            # be reused for the next request id.
+            self._disconnect()
+            raise DeadlineExceeded(
+                f"no response within timeout_s={self.timeout_s}"
+            ) from exc
+        except (WireError, OSError) as exc:
+            self._disconnect()
+            raise ConnectionLost(str(exc)) from exc
 
-    def _call(self, request: Request) -> Response:
+    def _call_once(self, request: Request) -> Response:
+        if self._sock is None:
+            self.reconnects += 1
+            self._connect()
         response = self._roundtrip(encode_request(request, known=self._known))
         if response.error is not None and response.error.startswith(
             NEED_KERNEL_PREFIX
@@ -189,14 +337,11 @@ class SocketEvaluator(EvaluatorClient):
             response = self._roundtrip(encode_request(request, known=None))
         if response.error is None:
             self._known.update(request.fingerprints())
-        return self._record(response)
+        return response
 
     def close(self) -> None:
         """Close the connection; idempotent."""
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        self._disconnect()
 
     def __enter__(self) -> "SocketEvaluator":
         return self

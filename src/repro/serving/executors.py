@@ -36,6 +36,8 @@ version *rebuild* per batch.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import signal
 import threading
 import traceback
 from abc import ABC, abstractmethod
@@ -46,10 +48,12 @@ import numpy as np
 
 from ..compiler.kernels import Kernel
 from ..compiler.tiling import TileConfig
+from .faults import FaultInjector, FaultPlan
 from .placement import RebalancePlan, ShardMap
 from .protocol import lru_touch
 from .registry import ModelRegistry
 from .replica import ReplicaPool, shard_of
+from .resilience import CrashLoopBackoff
 from .workers import shard_worker
 
 
@@ -79,11 +83,19 @@ class CommandResult:
 
     ``forwards`` is the number of model forward passes this result cost —
     0 for commands that rode along in another command's fused forward.
+
+    ``infra`` marks an *infrastructure* failure — the worker died, hung
+    past the dispatch timeout, or could not be (re)spawned — as opposed
+    to the model itself raising on the inputs. The service feeds only
+    infrastructure failures to the shard's circuit breaker and the
+    graceful-degradation path; a model error is the request's own fault
+    and is surfaced as-is.
     """
 
     value: np.ndarray | None = None
     error: str | None = None
     forwards: int = 1
+    infra: bool = False
 
 
 class Executor(ABC):
@@ -335,6 +347,10 @@ class _Shard:
     #: cheap ``use`` message instead of a blob reload.
     loaded: OrderedDict = field(default_factory=OrderedDict)
     lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Respawn suppression: a worker that dies on every boot must fail
+    #: fast (the service degrades its requests) instead of spinning the
+    #: spawn path hot. One successful round trip resets it.
+    backoff: CrashLoopBackoff = field(default_factory=CrashLoopBackoff)
 
 
 class WorkerDiedError(RuntimeError):
@@ -355,12 +371,23 @@ class ProcessShardExecutor(Executor):
         start_method: ``multiprocessing`` start method. ``spawn`` (the
             default) is safe alongside the service's threads; ``fork`` is
             faster to boot but inherits the parent's thread state.
-        request_timeout_s: per-message reply deadline before a worker is
-            declared dead and respawned.
+        request_timeout_s: the dispatch watchdog — per-message reply
+            deadline before a worker is declared *hung* and
+            killed/respawned. Pipe reads always use this bounded poll
+            (never a blocking ``recv``), so a stopped-but-alive worker
+            can stall one batch for at most this long, not forever.
         max_live_versions: warm per-version evaluators each worker keeps
             (LRU). 2 covers a rollout (active + staged): alternating
             versions between micro-batches costs a one-word ``use``
             message instead of re-shipping and re-deserializing the blob.
+        fault_injector: optional chaos harness
+            (:class:`~repro.serving.faults.FaultInjector`). Fires
+            ``executor.dispatch`` parent-side per shard per batch (kill =
+            SIGKILL, hang = SIGSTOP — the parent-side counters persist
+            across respawns, which worker-side rules cannot), filters
+            checkpoint blobs through ``registry.load`` on the way to
+            workers, and ships the plan's ``worker.`` subset into each
+            spawned worker. ``None`` (default) adds zero overhead.
 
     Workers are lazy: nothing is spawned until the first :meth:`run`, so
     constructing a service with this backend is cheap. Version sync is
@@ -388,9 +415,10 @@ class ProcessShardExecutor(Executor):
         shards: int = 2,
         max_cached_kernels: int = 1024,
         start_method: str = "spawn",
-        request_timeout_s: float = 120.0,
+        request_timeout_s: float = 30.0,
         max_live_versions: int = 2,
         shard_map: ShardMap | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -402,6 +430,13 @@ class ProcessShardExecutor(Executor):
         self.max_cached_kernels = max_cached_kernels
         self.request_timeout_s = request_timeout_s
         self.max_live_versions = max_live_versions
+        self._faults = fault_injector
+        worker_plan: FaultPlan | None = None
+        if fault_injector is not None:
+            worker_plan = fault_injector.plan.subset("worker.")
+            if not worker_plan.rules:
+                worker_plan = None
+        self._worker_plan = worker_plan
         self._ctx = multiprocessing.get_context(start_method)
         self._shards = [_Shard(index=i) for i in range(self.num_shards)]
         # Serializes migrations (the shard list and map are only mutated
@@ -414,6 +449,24 @@ class ProcessShardExecutor(Executor):
     # worker lifecycle
     # ------------------------------------------------------------------ #
 
+    @staticmethod
+    def _stop_process(process) -> None:
+        """Stop a worker process, escalating to SIGKILL.
+
+        SIGTERM alone is not enough: a *stopped* (SIGSTOPped — the
+        simulated-hang fault, or a genuinely wedged) process holds the
+        signal pending and never dies, so after a grace join the kill is
+        unconditional.
+        """
+        if process is None:
+            return
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=1)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=5)
+
     def _spawn_locked(self, shard: _Shard) -> None:
         """(Re)start ``shard``'s worker; caller holds ``shard.lock``."""
         if shard.process is not None:
@@ -422,13 +475,17 @@ class ProcessShardExecutor(Executor):
                 shard.conn.close()
             except OSError:
                 pass
-            if shard.process.is_alive():
-                shard.process.terminate()
-            shard.process.join(timeout=5)
+            self._stop_process(shard.process)
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
             target=shard_worker,
-            args=(child_conn, self.max_cached_kernels, self.max_live_versions),
+            args=(
+                child_conn,
+                self.max_cached_kernels,
+                self.max_live_versions,
+                shard.index,
+                self._worker_plan,
+            ),
             name=f"cost-model-shard-{shard.index}",
             daemon=True,
         )
@@ -452,17 +509,17 @@ class ProcessShardExecutor(Executor):
     def _invalidate_locked(self, shard: _Shard) -> None:
         """Declare ``shard``'s pipe stream unusable after any failure.
 
-        Terminating the process (even if it is merely slow, not dead)
-        is what keeps the protocol in sync: a late reply from an
+        Killing the process (even if it is merely slow or hung, not
+        dead) is what keeps the protocol in sync: a late reply from an
         abandoned command must never be mistaken for the ack of a later
         message, so the next :meth:`_sync_locked` always starts from a
-        fresh process and a fresh pipe.
+        fresh process and a fresh pipe. Every invalidation also feeds
+        the shard's crash-loop backoff — the respawn suppressor.
         """
         shard.version = None
         shard.loaded.clear()
-        if shard.process is not None and shard.process.is_alive():
-            shard.process.terminate()
-            shard.process.join(timeout=5)
+        shard.backoff.record_failure()
+        self._stop_process(shard.process)
 
     def _request_locked(self, shard: _Shard, message: tuple):
         """One send/recv round trip; raises on a dead or hung worker."""
@@ -482,6 +539,13 @@ class ProcessShardExecutor(Executor):
         if alive and shard.version == version:
             return
         if not alive:
+            suppressed = shard.backoff.remaining()
+            if suppressed > 0:
+                raise WorkerDiedError(
+                    f"shard {shard.index} respawn suppressed for "
+                    f"{suppressed:.2f}s (crash-loop backoff after "
+                    f"{shard.backoff.failures} consecutive failures)"
+                )
             self._spawn_locked(shard)
         if version in shard.loaded:
             reply = self._request_locked(shard, ("use", version))
@@ -492,6 +556,10 @@ class ProcessShardExecutor(Executor):
             # Worker-side eviction (or an older worker): reload in full.
             shard.loaded.pop(version, None)
         blob = self.registry.blob(version)
+        if self._faults is not None:
+            blob = self._faults.filter_blob(
+                "registry.load", blob, shard=shard.index
+            )
         reply = self._request_locked(shard, ("load", version, blob))
         if reply[0] != "ok":
             raise WorkerDiedError(
@@ -714,6 +782,7 @@ class ProcessShardExecutor(Executor):
                 self._sync_locked(shard, version)
                 reply = self._execute_one_locked(shard, command)
                 shard.commands += 1
+                shard.backoff.record_success()
                 if reply[0] == "ok":
                     results[index] = CommandResult(value=reply[1])
                 else:
@@ -726,7 +795,9 @@ class ProcessShardExecutor(Executor):
                 )
                 for remaining_index, _ in items[position:]:
                     if results[remaining_index] is None:
-                        results[remaining_index] = CommandResult(error=message)
+                        results[remaining_index] = CommandResult(
+                            error=message, infra=True
+                        )
                 return
 
     def run(self, version: str, commands: list[Command]) -> list[CommandResult]:
@@ -754,6 +825,8 @@ class ProcessShardExecutor(Executor):
                 shard = self._shards[shard_index]
                 try:
                     self._sync_locked(shard, version)
+                    if self._faults is not None:
+                        self._dispatch_fault_locked(shard)
                     plans[shard_index] = self._send_batch_locked(
                         shard, per_shard[shard_index]
                     )
@@ -766,6 +839,7 @@ class ProcessShardExecutor(Executor):
                 if plan is not None:
                     try:
                         self._recv_batch_locked(shard, plan, results)
+                        shard.backoff.record_success()
                         continue
                     except _PIPE_ERRORS:
                         self._invalidate_locked(shard)
@@ -778,9 +852,33 @@ class ProcessShardExecutor(Executor):
         return [
             result
             if result is not None
-            else CommandResult(error="command was not dispatched")
+            else CommandResult(error="command was not dispatched", infra=True)
             for result in results
         ]
+
+    def _dispatch_fault_locked(self, shard: _Shard) -> None:
+        """Fire the ``executor.dispatch`` chaos hook against one shard.
+
+        Runs parent-side, between version sync and batch send: ``kill``
+        SIGKILLs the worker mid-batch (the send/recv path then sees a
+        dead pipe), ``hang`` SIGSTOPs it — alive but unresponsive, the
+        exact failure the bounded-poll watchdog exists for (teardown
+        later escalates to SIGKILL, since a stopped process ignores
+        SIGTERM) — and ``delay`` sleeps the dispatcher.
+        """
+        rule = self._faults.fire("executor.dispatch", shard=shard.index)
+        if rule is None:
+            return
+        if rule.kind in ("kill", "hang"):
+            if shard.process is None or not shard.process.is_alive():
+                return
+            sig = signal.SIGKILL if rule.kind == "kill" else signal.SIGSTOP
+            try:
+                os.kill(shard.process.pid, sig)
+            except (OSError, ProcessLookupError):
+                pass
+        else:
+            FaultInjector.maybe_delay(rule)
 
     # ------------------------------------------------------------------ #
     # placement migration
@@ -803,6 +901,10 @@ class ProcessShardExecutor(Executor):
         synced = 0
         for version in versions[1:]:
             blob = self.registry.blob(version)
+            if self._faults is not None:
+                blob = self._faults.filter_blob(
+                    "registry.load", blob, shard=shard.index
+                )
             reply = self._request_locked(shard, ("warm", version, blob))
             if reply[0] != "ok":
                 raise WorkerDiedError(
@@ -827,9 +929,7 @@ class ProcessShardExecutor(Executor):
         except (BrokenPipeError, OSError):
             pass
         shard.process.join(timeout=2)
-        if shard.process.is_alive():
-            shard.process.terminate()
-            shard.process.join(timeout=2)
+        self._stop_process(shard.process)
         try:
             shard.conn.close()
         except OSError:
@@ -951,6 +1051,8 @@ class ProcessShardExecutor(Executor):
                 "commands": shard.commands,
                 "known_kernels": len(shard.known),
                 "live_versions": len(shard.loaded),
+                "backoff_failures": shard.backoff.failures,
+                "backoff_remaining_s": shard.backoff.remaining(),
             }
             for shard in list(self._shards)
         ]
@@ -968,9 +1070,7 @@ class ProcessShardExecutor(Executor):
                 except (BrokenPipeError, OSError):
                     pass
                 shard.process.join(timeout=2)
-                if shard.process.is_alive():
-                    shard.process.terminate()
-                    shard.process.join(timeout=2)
+                self._stop_process(shard.process)
                 try:
                     shard.conn.close()
                 except OSError:

@@ -33,10 +33,15 @@ import selectors
 import socket
 import threading
 import time
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 
 from .client import ServiceEvaluator
+from .faults import FaultInjector, corrupt_bytes
 from .protocol import (
+    ERROR_DISCONNECTED,
+    ERROR_OVERLOADED,
+    ERROR_UNAVAILABLE,
     NEED_KERNEL_PREFIX,
     Response,
     UnknownKernelError,
@@ -46,6 +51,7 @@ from .protocol import (
     frame_bytes,
     kernel_interner,
 )
+from .resilience import Overloaded
 from .service import CostModelService
 
 
@@ -95,6 +101,13 @@ class _Connection:
     interner: dict = field(default_factory=kernel_interner)
     #: Serializes response writes (future callbacks race per connection).
     send_lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Requests submitted but not yet answered, by request id. On
+    #: disconnect every still-pending future is resolved with a typed
+    #: ``disconnected`` response so no waiter (shadow scorer, test,
+    #: service shed pass) blocks on a peer that will never read the
+    #: answer.
+    inflight: dict[int, Future] = field(default_factory=dict)
+    inflight_lock: threading.Lock = field(default_factory=threading.Lock)
     broken: bool = False
 
 
@@ -107,6 +120,10 @@ class SocketFrontend(Frontend):
         port: bind port; 0 picks a free one (read :attr:`address`).
         backlog: listen backlog.
         max_interned_kernels: per-connection kernel-interner bound.
+        fault_injector: optional chaos injector; its ``frontend.recv``
+            rules apply to inbound socket reads (``drop`` severs the
+            connection, ``corrupt`` flips a byte so framing fails and
+            the peer is dropped, ``delay`` adds ingress latency).
 
     One background thread multiplexes accept + read over every
     connection with a selector; decoded requests are submitted straight
@@ -129,9 +146,11 @@ class SocketFrontend(Frontend):
         port: int = 0,
         backlog: int = 64,
         max_interned_kernels: int = 4096,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         super().__init__(service)
         self.max_interned_kernels = max_interned_kernels
+        self._faults = fault_injector
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -145,6 +164,8 @@ class SocketFrontend(Frontend):
         self.frames_in = 0
         self.frames_out = 0
         self.decode_errors = 0
+        self.dropped_connections = 0
+        self.abandoned_requests = 0
         self._selector = selectors.DefaultSelector()
         self._selector.register(self._listener, selectors.EVENT_READ, "accept")
         # Self-pipe so close() can interrupt a blocked select().
@@ -210,6 +231,18 @@ class SocketFrontend(Frontend):
         if not data:
             self._drop(connection)
             return False
+        if self._faults is not None:
+            rule = self._faults.fire("frontend.recv")
+            if rule is not None:
+                if rule.kind in ("drop", "kill"):
+                    # Sever the connection mid-frame: the peer sees a
+                    # reset and its in-flight requests resolve typed.
+                    self._drop(connection)
+                    return False
+                if rule.kind == "corrupt":
+                    data = corrupt_bytes(data)
+                elif rule.kind in ("delay", "hang"):
+                    FaultInjector.maybe_delay(rule)
         connection.buffer.extend(data)
         ingested = False
         while True:
@@ -266,6 +299,21 @@ class SocketFrontend(Frontend):
             return
         try:
             future = self.service.submit(request)
+        except Overloaded as exc:
+            # Admission control shed the request at the door: a typed,
+            # retryable answer the client can back off on.
+            self._send(
+                connection,
+                request_id,
+                Response(
+                    value=None,
+                    model_version=self.service.registry.active_version or "",
+                    error=str(exc),
+                    error_code=ERROR_OVERLOADED,
+                ),
+                deadline_s=1.0,
+            )
+            return
         except Exception as exc:
             # A stopped service (closed scheduler) must answer, not kill
             # the IO thread and silently hang every connected client.
@@ -276,13 +324,20 @@ class SocketFrontend(Frontend):
                     value=None,
                     model_version=self.service.registry.active_version or "",
                     error=f"service unavailable: {exc}",
+                    error_code=ERROR_UNAVAILABLE,
                 ),
                 deadline_s=1.0,
             )
             return
-        future.add_done_callback(
-            lambda fut, rid=request_id: self._send(connection, rid, fut.result())
-        )
+        with connection.inflight_lock:
+            connection.inflight[request_id] = future
+
+        def _respond(fut: Future, rid: int = request_id) -> None:
+            with connection.inflight_lock:
+                connection.inflight.pop(rid, None)
+            self._send(connection, rid, fut.result())
+
+        future.add_done_callback(_respond)
 
     # ------------------------------------------------------------------ #
     # egress
@@ -347,6 +402,8 @@ class SocketFrontend(Frontend):
                 "frames_in": self.frames_in,
                 "frames_out": self.frames_out,
                 "decode_errors": self.decode_errors,
+                "dropped_connections": self.dropped_connections,
+                "abandoned_requests": self.abandoned_requests,
             }
 
     def _drop(self, connection: _Connection) -> None:
@@ -359,8 +416,32 @@ class SocketFrontend(Frontend):
             connection.sock.close()
         except OSError:
             pass
+        with connection.inflight_lock:
+            inflight = list(connection.inflight.values())
+            connection.inflight.clear()
+        abandoned = 0
+        for future in inflight:
+            if future.done():
+                continue
+            # Resolve, don't cancel: the service's shed pass skips done
+            # futures (counted abandoned), and any other waiter gets a
+            # typed error instead of blocking forever.
+            try:
+                future.set_result(
+                    Response(
+                        value=None,
+                        model_version=self.service.registry.active_version or "",
+                        error="client disconnected before response",
+                        error_code=ERROR_DISCONNECTED,
+                    )
+                )
+                abandoned += 1
+            except InvalidStateError:
+                pass  # raced a concurrent resolution; its callback won
         with self._lock:
             self._connections.discard(connection)
+            self.dropped_connections += 1
+            self.abandoned_requests += abandoned
 
     def close(self) -> None:
         with self._lock:

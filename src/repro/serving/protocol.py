@@ -61,6 +61,24 @@ class UnknownKernelError(WireError):
 NEED_KERNEL_PREFIX = "need_kernel:"
 
 
+# ---------------------------------------------------------------------- #
+# typed error codes: the wire vocabulary of serving faults. The strings
+# live here (not in resilience.py) so the protocol layer stays dependency
+# -free; resilience.py maps them to typed exceptions.
+# ---------------------------------------------------------------------- #
+
+#: The request's deadline elapsed before it could be answered.
+ERROR_DEADLINE_EXCEEDED = "deadline_exceeded"
+#: Admission control shed the request (scheduler backlog at its bound).
+ERROR_OVERLOADED = "overloaded"
+#: The transport connection died while the request was in flight.
+ERROR_DISCONNECTED = "disconnected"
+#: Shard-worker infrastructure failed the request (died/hung/unreachable).
+ERROR_WORKER_FAILURE = "worker_failure"
+#: The service cannot take or answer requests right now.
+ERROR_UNAVAILABLE = "unavailable"
+
+
 #: Frame header: request id (correlates responses on a pipelined
 #: connection) + body length.
 _FRAME = struct.Struct(">QI")
@@ -136,10 +154,16 @@ class TileScoresRequest:
     Attributes:
         kernel: the kernel being tuned.
         tiles: candidate tile configurations to rank.
+        deadline_s: seconds (from submission) this request is worth
+            answering; the scheduler sheds it with a typed
+            ``deadline_exceeded`` once expired. ``None`` = no deadline.
+            Deliberately excluded from :meth:`cache_key` — a cached value
+            answers the same query content regardless of its deadline.
     """
 
     kernel: Kernel
     tiles: tuple[TileConfig, ...]
+    deadline_s: float | None = None
 
     def shard_key(self) -> str:
         return self.kernel.fingerprint()
@@ -155,6 +179,7 @@ class TileScoresRequest:
             "tile_scores",
             kernel=_kernel_to_wire(self.kernel, known),
             tiles=[list(t.dims) for t in self.tiles],
+            deadline_s=self.deadline_s,
         )
 
     @classmethod
@@ -162,6 +187,8 @@ class TileScoresRequest:
         return cls(
             kernel=_kernel_from_wire(payload["kernel"], interner, max_interned),
             tiles=tuple(TileConfig(dims=tuple(d)) for d in payload["tiles"]),
+            # .get(): frames from a pre-deadline peer still decode.
+            deadline_s=payload.get("deadline_s"),
         )
 
 
@@ -170,6 +197,7 @@ class KernelRuntimeRequest:
     """Predict one kernel's absolute runtime in seconds."""
 
     kernel: Kernel
+    deadline_s: float | None = None
 
     def shard_key(self) -> str:
         return self.kernel.fingerprint()
@@ -182,12 +210,17 @@ class KernelRuntimeRequest:
 
     def to_bytes(self, known=None) -> bytes:
         return _pack_request(
-            "kernel_runtime", kernel=_kernel_to_wire(self.kernel, known)
+            "kernel_runtime",
+            kernel=_kernel_to_wire(self.kernel, known),
+            deadline_s=self.deadline_s,
         )
 
     @classmethod
     def _from_payload(cls, payload, interner, max_interned) -> "KernelRuntimeRequest":
-        return cls(kernel=_kernel_from_wire(payload["kernel"], interner, max_interned))
+        return cls(
+            kernel=_kernel_from_wire(payload["kernel"], interner, max_interned),
+            deadline_s=payload.get("deadline_s"),
+        )
 
 
 @dataclass(frozen=True)
@@ -200,6 +233,7 @@ class ProgramRuntimesRequest:
     """
 
     programs: tuple[tuple[Kernel, ...], ...]
+    deadline_s: float | None = None
 
     def shard_key(self) -> str:
         # Route whole populations by their first kernel so one replica's
@@ -224,6 +258,7 @@ class ProgramRuntimesRequest:
                 [_kernel_to_wire(k, known) for k in kernels]
                 for kernels in self.programs
             ],
+            deadline_s=self.deadline_s,
         )
 
     @classmethod
@@ -234,7 +269,8 @@ class ProgramRuntimesRequest:
                     _kernel_from_wire(k, interner, max_interned) for k in kernels
                 )
                 for kernels in payload["programs"]
-            )
+            ),
+            deadline_s=payload.get("deadline_s"),
         )
 
 
@@ -314,6 +350,14 @@ class Response:
         shadowed_by: staged version that additionally scored this request
             off the response path (shadow rollout), or ``None``. The
             shadow score never appears in ``value``.
+        error_code: stable machine-readable code (one of the ``ERROR_*``
+            constants) when the request failed in a typed way; clients
+            map it back to a typed exception. ``None`` for successes and
+            untyped (traceback-only) failures.
+        degraded: ``value`` came from the analytical fallback model, not
+            a published checkpoint (``model_version`` is then the
+            analytical stamp). Honest but lower-fidelity — clients may
+            treat it differently (e.g. skip feedback collection).
     """
 
     value: np.ndarray | float | None
@@ -324,6 +368,8 @@ class Response:
     error: str | None = None
     canary: bool = False
     shadowed_by: str | None = None
+    error_code: str | None = None
+    degraded: bool = False
 
     def unwrap(self) -> np.ndarray | float:
         """The value, raising ``RuntimeError`` if the request failed."""
@@ -360,6 +406,8 @@ class Response:
                 "error": self.error,
                 "canary": self.canary,
                 "shadowed_by": self.shadowed_by,
+                "error_code": self.error_code,
+                "degraded": self.degraded,
             }
         ).encode()
         return struct.pack(">I", len(header)) + header + payload
@@ -388,10 +436,12 @@ class Response:
                 cache_hit=header["cache_hit"],
                 latency_s=header["latency_s"],
                 error=header["error"],
-                # .get(): rollout tags are optional on the wire, so frames
-                # from a pre-rollout peer still decode.
+                # .get(): rollout/resilience tags are optional on the
+                # wire, so frames from an older peer still decode.
                 canary=bool(header.get("canary", False)),
                 shadowed_by=header.get("shadowed_by"),
+                error_code=header.get("error_code"),
+                degraded=bool(header.get("degraded", False)),
             )
         except WireError:
             raise

@@ -26,6 +26,7 @@ is exempt from retention pruning.
 from __future__ import annotations
 
 import json
+import os
 import re
 import threading
 from pathlib import Path
@@ -43,6 +44,18 @@ _VERSION_RE = re.compile(r"^[A-Za-z0-9._-]+$")
 
 _MANIFEST_NAME = "manifest.json"
 _BLOB_SUFFIX = ".ckpt"
+
+
+def _write_atomic(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a same-directory temp file +
+    ``os.replace``, so a crash mid-write never leaves a truncated file
+    under the final name (``os.replace`` is atomic within a filesystem)."""
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 class ModelRegistry:
@@ -299,6 +312,12 @@ class ModelRegistry:
         directory overwrites — version blobs are immutable, so this is
         idempotent.
 
+        Every file is written atomically (same-directory temp file +
+        ``os.replace``): a process killed mid-spill leaves either the
+        previous complete file or the new complete file, never a
+        truncated blob — so a warm-start :meth:`load` after a crash
+        always sees integrity-valid checkpoints.
+
         Returns:
             The directory written.
         """
@@ -310,9 +329,12 @@ class ModelRegistry:
             active = self._active
             staged = self._staged
         for version, blob in blobs.items():
-            (directory / f"{version}{_BLOB_SUFFIX}").write_bytes(blob)
+            _write_atomic(directory / f"{version}{_BLOB_SUFFIX}", blob)
         manifest = {"versions": order, "active": active, "staged": staged}
-        (directory / _MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+        _write_atomic(
+            directory / _MANIFEST_NAME,
+            json.dumps(manifest, indent=2).encode(),
+        )
         return directory
 
     @classmethod

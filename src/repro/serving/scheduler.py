@@ -30,6 +30,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 
 from .protocol import Request
+from .resilience import Overloaded
 
 
 @dataclass
@@ -40,6 +41,12 @@ class PendingRequest:
     time by the service's rollout version chooser (the policy in front of
     the per-batch snapshot), so the executor split and the response tags
     always agree — a canary batch is version-pure by construction.
+
+    ``expires_at`` (perf_counter time) is the request's deadline, stamped
+    at submission from its ``deadline_s`` (or the batcher's default);
+    the service sheds requests past it before dispatch with a typed
+    ``deadline_exceeded`` instead of spending a forward on an answer the
+    client has stopped waiting for.
     """
 
     request: Request
@@ -47,6 +54,7 @@ class PendingRequest:
     future: Future = field(default_factory=Future, repr=False)
     routed_version: str | None = None
     shadowed_by: str | None = None
+    expires_at: float | None = None
 
 
 class MicroBatcher:
@@ -69,6 +77,14 @@ class MicroBatcher:
             batch, during which every client was blocked — from spiking
             the estimate above the window and prematurely cutting the
             next batch.
+        max_pending: admission-control bound on the queue — a submission
+            arriving with this many requests already pending is shed
+            immediately with a typed :class:`~.resilience.Overloaded`
+            instead of queueing unboundedly (0 = unbounded, the
+            pre-resilience behavior).
+        default_deadline_s: deadline stamped on requests that carry none
+            of their own (``None`` = no default; such requests never
+            expire).
     """
 
     #: Cap on one observed inter-arrival gap: a single long idle pause
@@ -87,6 +103,8 @@ class MicroBatcher:
         flush_interval_s: float = 0.002,
         adaptive_flush: bool = False,
         gap_ema_alpha: float = 0.1,
+        max_pending: int = 0,
+        default_deadline_s: float | None = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -94,10 +112,14 @@ class MicroBatcher:
             raise ValueError("flush_interval_s must be >= 0")
         if not 0.0 < gap_ema_alpha <= 1.0:
             raise ValueError("gap_ema_alpha must be in (0, 1]")
+        if max_pending < 0:
+            raise ValueError("max_pending must be >= 0 (0 = unbounded)")
         self.max_batch_size = max_batch_size
         self.flush_interval_s = flush_interval_s
         self.adaptive_flush = adaptive_flush
         self.gap_ema_alpha = gap_ema_alpha
+        self.max_pending = max_pending
+        self.default_deadline_s = default_deadline_s
         self._gap_ema: float | None = None
         self._pressure_ema = 0.0
         self._last_arrival: float | None = None
@@ -106,17 +128,37 @@ class MicroBatcher:
         self._pending: list[PendingRequest] = []
         self._closed = False
         self.submitted = 0
+        self.rejected = 0
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._pending)
 
     def submit(self, request: Request) -> Future:
-        """Enqueue a request; returns the future its response resolves."""
+        """Enqueue a request; returns the future its response resolves.
+
+        Raises:
+            Overloaded: the queue is at ``max_pending`` (admission
+                control sheds at the door, not after queueing).
+            RuntimeError: the scheduler is closed.
+        """
         pending = PendingRequest(request=request, enqueued_at=time.perf_counter())
+        # getattr: foreign request-like objects (tests exercise the
+        # malformed-request path) may not carry the deadline field.
+        deadline = getattr(request, "deadline_s", None)
+        if deadline is None:
+            deadline = self.default_deadline_s
+        if deadline is not None:
+            pending.expires_at = pending.enqueued_at + deadline
         with self._nonempty:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
+            if self.max_pending and len(self._pending) >= self.max_pending:
+                self.rejected += 1
+                raise Overloaded(
+                    f"scheduler backlog at {len(self._pending)} requests "
+                    f"(max_pending={self.max_pending})"
+                )
             if self._last_arrival is not None:
                 gap = min(pending.enqueued_at - self._last_arrival, self._GAP_CLAMP_S)
                 if self._gap_ema is None:

@@ -65,9 +65,13 @@ from .executors import (
     ProgramCommand,
     TileCommand,
 )
+from .faults import FaultInjector
 from .feedback import FeedbackCollector, request_key
 from .placement import RebalancePlan, ShardMap
 from .protocol import (
+    ERROR_DEADLINE_EXCEEDED,
+    ERROR_UNAVAILABLE,
+    ERROR_WORKER_FAILURE,
     KernelRuntimeRequest,
     ProgramRuntimesRequest,
     Request,
@@ -76,6 +80,12 @@ from .protocol import (
 )
 from .registry import ModelRegistry
 from .replica import ResultCache
+from .resilience import (
+    ANALYTICAL_VERSION,
+    AnalyticalFallback,
+    CircuitBreaker,
+    Overloaded,
+)
 from .rollout import FullActivation, RolloutPolicy, request_unit_hash
 from .scheduler import MicroBatcher, PendingRequest
 
@@ -128,6 +138,24 @@ class ServiceConfig:
             the staged version's evidence window; sampled hits are
             re-scored off the response path to keep it filling. 0
             (default) disables.
+        default_deadline_s: deadline stamped on requests that carry none
+            of their own; requests past their deadline are shed before
+            dispatch with a typed ``deadline_exceeded`` response.
+            ``None`` (default) = no implicit deadline.
+        max_pending: admission-control bound on the scheduler queue;
+            submissions beyond it raise a typed
+            :class:`~.resilience.Overloaded` (0 = unbounded).
+        dispatch_timeout_s: the ``process`` executor's watchdog — max
+            seconds one shard worker may take to answer one dispatched
+            command before it is declared hung and killed/respawned.
+        breaker_failure_threshold: consecutive shard infrastructure
+            failures that open that shard's circuit breaker.
+        breaker_reset_s: open-breaker dwell before a half-open probe
+            dispatch is allowed through.
+        degrade_to_analytical: answer requests from the analytical TPU
+            model (tagged ``degraded=True``) when a shard's breaker is
+            open or its worker cannot serve, instead of failing them —
+            tuners keep making progress through an outage.
     """
 
     max_batch_size: int = 64
@@ -143,6 +171,12 @@ class ServiceConfig:
     fuse_tile_commands: bool = False
     placement_buckets: int = 64
     shadow_cache_hit_fraction: float = 0.0
+    default_deadline_s: float | None = None
+    max_pending: int = 0
+    dispatch_timeout_s: float = 30.0
+    breaker_failure_threshold: int = 5
+    breaker_reset_s: float = 2.0
+    degrade_to_analytical: bool = True
 
 
 class CostModelService:
@@ -165,6 +199,9 @@ class CostModelService:
             when attached, every served (and shadow-scored) prediction is
             recorded for joining with measured runtimes — the signal the
             rollout controller promotes and rolls back on.
+        faults: optional :class:`~repro.serving.faults.FaultInjector`
+            wired through to the executor it builds (the chaos harness);
+            ``None`` (default) is the zero-overhead healthy path.
 
     Responses hand out cached arrays by reference; clients must treat
     response values as read-only.
@@ -177,8 +214,10 @@ class CostModelService:
         executor: Executor | None = None,
         rollout: RolloutPolicy | None = None,
         feedback: FeedbackCollector | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
+        self.faults = faults
         if isinstance(source, ModelRegistry):
             self.registry = source
         else:
@@ -190,6 +229,8 @@ class CostModelService:
             max_batch_size=self.config.max_batch_size,
             flush_interval_s=self.config.flush_interval_s,
             adaptive_flush=self.config.adaptive_flush,
+            max_pending=self.config.max_pending,
+            default_deadline_s=self.config.default_deadline_s,
         )
         self.result_cache = ResultCache(self.config.result_cache_entries)
         self.stats = ServingStats()
@@ -198,6 +239,11 @@ class CostModelService:
         self._rollout_lock = threading.Lock()
         self.executor = executor or self._build_executor()
         self._exec_lock = threading.Lock()
+        self._breakers: dict[int, CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
+        self._fallback = (
+            AnalyticalFallback() if self.config.degrade_to_analytical else None
+        )
         self._shadow_backlog: list[tuple[str, PendingRequest]] = []
         self._backlog_lock = threading.Lock()
         self._thread: threading.Thread | None = None
@@ -230,6 +276,8 @@ class CostModelService:
                 start_method=self.config.executor_start_method,
                 max_live_versions=self.config.max_live_versions,
                 shard_map=shard_map,
+                request_timeout_s=self.config.dispatch_timeout_s,
+                fault_injector=self.faults,
             )
         raise ValueError(
             f"unknown executor {self.config.executor!r}; "
@@ -399,7 +447,11 @@ class CostModelService:
                 future: Future = Future()
                 future.set_result(response)
                 return future
-        return self.scheduler.submit(request)
+        try:
+            return self.scheduler.submit(request)
+        except Overloaded:
+            self.stats.record_overload_rejection()
+            raise
 
     def _maybe_shadow_cache_hit(
         self, policy: RolloutPolicy, request: Request, routed: str
@@ -514,6 +566,17 @@ class CostModelService:
         snapshot["flush_interval_effective_s"] = (
             self.scheduler.effective_flush_interval()
         )
+        with self._breaker_lock:
+            breakers = dict(self._breakers)
+        snapshot["breakers"] = {
+            str(shard): breaker.snapshot() for shard, breaker in breakers.items()
+        }
+        snapshot["breaker_open_seconds"] = sum(
+            b.open_seconds() for b in breakers.values()
+        )
+        if self._fallback is not None:
+            snapshot["fallback_answers"] = float(self._fallback.answers)
+            snapshot["fallback_failures"] = float(self._fallback.failures)
         shard_map = self.shard_map
         if shard_map is not None:
             snapshot["placement"] = shard_map.describe()
@@ -540,7 +603,9 @@ class CostModelService:
             message = traceback.format_exc()
             version = self.registry.active_version
             for pending in batch:
-                self._resolve_error(pending, version, message)
+                self._resolve_error(
+                    pending, version, message, code=ERROR_UNAVAILABLE
+                )
 
     def _execute(self, batch: list[PendingRequest]) -> None:
         """Run one micro-batch through the version chooser.
@@ -554,6 +619,9 @@ class CostModelService:
         with self._exec_lock:
             policy = self.get_rollout()
             active = self.registry.active_version
+            batch = self._shed(batch, active)
+            if not batch:
+                return
             groups: dict[str, list[PendingRequest]] = {}
             shadow_groups: dict[str, list[PendingRequest]] = {}
             for pending in batch:
@@ -593,6 +661,87 @@ class CostModelService:
             self.stats.record_batch(len(batch), total_forwards)
             for version, sub_batch in shadow_groups.items():
                 self._execute_shadow(version, sub_batch)
+
+    def _shed(
+        self, batch: list[PendingRequest], active: str
+    ) -> list[PendingRequest]:
+        """Drop requests not worth dispatching: abandoned and expired.
+
+        Abandoned = the future already resolved (a frontend dropped the
+        client's connection and answered it with a typed disconnect) — a
+        forward for it is pure waste. Expired = past its deadline; it is
+        resolved here with a typed ``deadline_exceeded`` instead of
+        spending a forward on an answer nobody is waiting for.
+        """
+        now = time.perf_counter()
+        live: list[PendingRequest] = []
+        for pending in batch:
+            if pending.future.done():
+                self.stats.record_abandoned()
+            elif pending.expires_at is not None and now >= pending.expires_at:
+                self.stats.record_deadline_expired()
+                self._resolve_error(
+                    pending,
+                    active,
+                    f"deadline expired before dispatch "
+                    f"(queued {now - pending.enqueued_at:.3f}s)",
+                    code=ERROR_DEADLINE_EXCEEDED,
+                )
+            else:
+                live.append(pending)
+        return live
+
+    def _breaker(self, shard: int) -> CircuitBreaker:
+        """The (lazily created) circuit breaker guarding one shard."""
+        with self._breaker_lock:
+            breaker = self._breakers.get(shard)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.config.breaker_failure_threshold,
+                    reset_s=self.config.breaker_reset_s,
+                )
+                self._breakers[shard] = breaker
+            return breaker
+
+    def _degrade_or_fail(
+        self,
+        pending: PendingRequest,
+        version: str,
+        shard: int | None,
+        reason: str,
+        code: str = ERROR_UNAVAILABLE,
+    ) -> None:
+        """Answer from the analytical model, or fail with a typed error.
+
+        The graceful-degradation path: a breaker-open shard or a dead/
+        hung worker must not cost the client its request. Degraded values
+        are tagged on the wire, stamped with the analytical version, and
+        **never** put in the result cache (an outage must not poison the
+        cache with analytical values) nor recorded as feedback
+        predictions (they are not the learned model's output).
+        """
+        if pending.future.done():
+            return
+        if self._fallback is not None:
+            try:
+                value = self._fallback.answer(pending.request)
+            except Exception:
+                value = None
+            if value is not None:
+                latency = time.perf_counter() - pending.enqueued_at
+                self.stats.record_response(latency, cache_hit=False, shard=shard)
+                self.stats.record_degraded()
+                pending.future.set_result(
+                    Response(
+                        value=value,
+                        model_version=ANALYTICAL_VERSION,
+                        batch_size=1,
+                        latency_s=latency,
+                        degraded=True,
+                    )
+                )
+                return
+        self._resolve_error(pending, version, reason, shard, code=code)
 
     def _build_commands(self, batch: list[PendingRequest], on_malformed=None):
         """Coalesce a version-pure batch into shard-annotated commands.
@@ -663,14 +812,50 @@ class CostModelService:
                 pending, version, message
             ),
         )
-        results = self.executor.run(version, commands) if commands else []
+        # Circuit-breaker gate: commands for a shard whose breaker is
+        # open (and not yet due a half-open probe) never reach the
+        # executor — their requests are answered from the analytical
+        # fallback instead of queueing behind a known-bad worker.
+        run_commands = []
+        run_groups = []
+        for command, group in zip(commands, groups):
+            if self._breaker(command.shard).allow():
+                run_commands.append(command)
+                run_groups.append(group)
+            else:
+                _, shard, pendings = group
+                self.stats.record_breaker_block(len(pendings))
+                for pending in pendings:
+                    self._degrade_or_fail(
+                        pending,
+                        version,
+                        shard,
+                        f"shard {shard} circuit breaker is open",
+                    )
+        results = self.executor.run(version, run_commands) if run_commands else []
 
         forwards = 0
-        for (kind, shard, group), result in zip(groups, results):
+        for (kind, shard, group), result in zip(run_groups, results):
             if result.error is not None:
-                for pending in group:
-                    self._resolve_error(pending, version, result.error, shard)
+                if result.infra:
+                    # Infrastructure failure (worker died / hung past the
+                    # dispatch timeout / respawn suppressed): feed the
+                    # breaker and degrade rather than surfacing worker
+                    # tracebacks for a fault the client didn't cause.
+                    self._breaker(shard).record_failure()
+                    for pending in group:
+                        self._degrade_or_fail(
+                            pending,
+                            version,
+                            shard,
+                            result.error,
+                            code=ERROR_WORKER_FAILURE,
+                        )
+                else:
+                    for pending in group:
+                        self._resolve_error(pending, version, result.error, shard)
                 continue
+            self._breaker(shard).record_success()
             # Executors report what each command actually cost: a
             # command fused into another's forward reports 0.
             forwards += result.forwards
@@ -800,6 +985,7 @@ class CostModelService:
         version: str,
         message: str,
         shard: int | None = None,
+        code: str | None = None,
     ) -> None:
         if pending.future.done():
             return
@@ -808,6 +994,10 @@ class CostModelService:
         self.stats.record_route(version, error=True)
         pending.future.set_result(
             Response(
-                value=None, model_version=version, latency_s=latency, error=message
+                value=None,
+                model_version=version,
+                latency_s=latency,
+                error=message,
+                error_code=code,
             )
         )

@@ -55,7 +55,11 @@ from collections import OrderedDict
 
 
 def shard_worker(
-    conn, max_cached_kernels: int = 1024, max_live_versions: int = 2
+    conn,
+    max_cached_kernels: int = 1024,
+    max_live_versions: int = 2,
+    shard_index: int = 0,
+    fault_plan=None,
 ) -> None:
     """Serve shard requests on ``conn`` until EOF or an ``exit`` message.
 
@@ -65,7 +69,14 @@ def shard_worker(
             fingerprint -> kernel interning map.
         max_live_versions: warm per-version evaluators kept (LRU); 2
             serves a rollout's active + staged pair without thrash.
+        shard_index: this worker's shard number (fault-rule targeting).
+        fault_plan: optional :class:`~repro.serving.faults.FaultPlan`
+            restricted to ``worker.`` hooks; a fresh injector is built
+            per process (counters restart with each respawn — exact
+            cross-respawn fault counts belong on the parent-side hooks).
     """
+    import os
+    import time
     import traceback
 
     import numpy as np
@@ -73,6 +84,27 @@ def shard_worker(
     from ..autotuner.evaluators import LearnedEvaluator
     from ..compiler.tiling import TileConfig
     from .protocol import lru_touch
+
+    injector = None
+    if fault_plan is not None and fault_plan.rules:
+        from .faults import FaultInjector
+
+        injector = FaultInjector(fault_plan)
+
+    def forward_fault() -> None:
+        """Fire ``worker.forward`` before a forward-executing op: ``kill``
+        exits the process mid-request (the parent sees a dead pipe),
+        ``hang`` sleeps ``delay_s`` (or effectively forever — the
+        parent's watchdog resolves it), ``delay`` adds latency."""
+        rule = injector.fire("worker.forward", shard=shard_index)
+        if rule is None:
+            return
+        if rule.kind == "kill":
+            os._exit(1)
+        elif rule.kind == "hang":
+            time.sleep(rule.delay_s or 3600.0)
+        elif rule.kind == "delay" and rule.delay_s > 0:
+            time.sleep(rule.delay_s)
 
     def tile_configs(dims_list):
         """Rebuild TileConfigs from the raw dims tuples on the wire."""
@@ -139,6 +171,8 @@ def shard_worker(
                 if evaluator is None:
                     conn.send(("err", "no checkpoint loaded"))
                     continue
+                if injector is not None:
+                    forward_fault()
                 scores = evaluator.score_tiles_batched(
                     kernel, tile_configs(dims_list)
                 )
@@ -159,6 +193,8 @@ def shard_worker(
                 if evaluator is None:
                     conn.send(("err", "no checkpoint loaded"))
                     continue
+                if injector is not None:
+                    forward_fault()
                 arrays = evaluator.score_tile_groups(resolved)
                 conn.send(("ok", [np.asarray(a) for a in arrays]))
             elif op == "programs":
@@ -180,6 +216,8 @@ def shard_worker(
                 if evaluator is None:
                     conn.send(("err", "no checkpoint loaded"))
                     continue
+                if injector is not None:
+                    forward_fault()
                 runtimes = evaluator.program_runtimes_batched(programs)
                 conn.send(("ok", np.asarray(runtimes)))
             elif op == "stats":
