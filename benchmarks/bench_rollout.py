@@ -84,6 +84,8 @@ from repro.serving import (  # noqa: E402
 from repro.serving.protocol import TileScoresRequest  # noqa: E402
 from repro.workloads import vision  # noqa: E402
 
+from harness import stamp_report  # noqa: E402
+
 FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
 
 CHUNK = 4  # candidate tiles per request (one search step's proposals)
@@ -350,7 +352,7 @@ def _gates(report: dict) -> list[str]:
 
 if __name__ == "__main__":
     report = main()
-    print(json.dumps(report, indent=2))
+    print(json.dumps(stamp_report(report), indent=2))
     failures = [] if FAST else _gates(report)
     for failure in failures:
         print(f"BENCH GATE FAILED: {failure}", file=sys.stderr)

@@ -47,6 +47,8 @@ from repro.models import (  # noqa: E402
 from repro.models.trainer import compile_step_plan  # noqa: E402
 from repro.workloads import vision  # noqa: E402
 
+from harness import stamp_report  # noqa: E402
+
 FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
 
 
@@ -165,7 +167,7 @@ def main() -> dict:
 
 if __name__ == "__main__":
     report = main()
-    print(json.dumps(report, indent=2))
+    print(json.dumps(stamp_report(report), indent=2))
     ok = (
         report["training_assembly"]["speedup"] >= 1.0
         and report["autotuner_scoring"]["speedup"] >= 1.0

@@ -14,6 +14,9 @@ several-times-smaller smoke configuration.
 from __future__ import annotations
 
 import os
+import platform
+import subprocess
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -45,10 +48,49 @@ from repro.workloads import Split, build_corpus, manual_split, random_split
 
 FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
 
+#: Version of the bench-report JSON layout. Bump when a report's shape
+#: changes incompatibly, so archived artifacts from CI runs stay
+#: machine-comparable across the repo's history.
+BENCH_SCHEMA_VERSION = 1
+
 
 def scale(full: int, fast: int) -> int:
     """Pick a knob value depending on the benchmark scale."""
     return fast if FAST else full
+
+
+def git_revision() -> str:
+    """The repo's current commit hash, or ``"unknown"`` outside git."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except Exception:
+        return "unknown"
+    return proc.stdout.strip() if proc.returncode == 0 else "unknown"
+
+
+def stamp_report(report: dict) -> dict:
+    """Stamp one bench's JSON report with schema + provenance metadata.
+
+    Every ``bench_*`` report passes through here before printing, so
+    archived artifacts always say which schema they use, which commit
+    produced them, and whether the fast (smoke) configuration ran —
+    without each bench repeating the bookkeeping.
+    """
+    report["schema_version"] = BENCH_SCHEMA_VERSION
+    report["meta"] = {
+        "git_revision": git_revision(),
+        "fast_mode": FAST,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "generated_at_unix": time.time(),
+    }
+    return report
 
 
 # ------------------------------------------------------------------ caching

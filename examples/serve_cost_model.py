@@ -15,17 +15,21 @@ interface, then drive two rollouts the way production would:
   auto-roll it back before it ever reaches full activation.
 
 Afterwards: a TCP socket frontend queried like a remote tuner would,
-registry spill/restore (staged marker included), and the service metrics
-with the per-shard and per-version breakdowns.
+registry spill/restore (staged marker included), the service metrics
+with the per-shard and per-version breakdowns, and the observability
+surface — a rendered end-to-end trace tree of one request and the
+Prometheus ``/metrics`` exposition served over the HTTP ops gateway.
 
 Every claimed outcome is checked; the script exits non-zero on any
 failure, so CI runs it as a smoke test.
 
 Run:  PYTHONPATH=src python examples/serve_cost_model.py
 """
+import json
 import sys
 import tempfile
 import threading
+import urllib.request
 
 from repro.autotuner import HardwareEvaluator, model_tile_autotune
 from repro.compiler import enumerate_tile_sizes
@@ -44,6 +48,7 @@ from repro.serving import (
     CostModelService,
     FeedbackCollector,
     FullActivation,
+    MetricsGateway,
     ModelRegistry,
     PlacementConfig,
     PlacementController,
@@ -53,6 +58,7 @@ from repro.serving import (
     ServiceEvaluator,
     SocketEvaluator,
     SocketFrontend,
+    Tracer,
     regressed_checkpoint,
     request_key,
     tile_measurement,
@@ -122,7 +128,13 @@ def main() -> None:
         max_batch_size=32, flush_interval_s=0.002, adaptive_flush=True,
         replicas=2, result_cache_entries=0,
     )
-    with CostModelService(registry, service_config, feedback=feedback) as service:
+    # sample_rate=1.0: a demo wants every request traced; production
+    # would run a small fraction (the decision is a deterministic hash of
+    # the trace id, so a request is traced everywhere or nowhere).
+    tracer = Tracer(sample_rate=1.0)
+    with CostModelService(
+        registry, service_config, feedback=feedback, tracer=tracer
+    ) as service:
         controller = RolloutController(
             service,
             feedback,
@@ -334,6 +346,65 @@ def main() -> None:
                 f"over {entry.get('feedback_count', 0.0):.0f}"
             )
         _check(metrics["per_version"][v3]["canary"] > 0, "regressed canary saw no traffic")
+
+        # 10. Observability: one request's end-to-end trace tree, then
+        #     the same registry every number above came from, scraped
+        #     over the HTTP ops gateway in Prometheus exposition format.
+        recent = tracer.recent(1)
+        _check(bool(recent), "fully-sampled demo retained no traces")
+        tree = tracer.trace(recent[0]["trace_id"])
+        _check(
+            tree is not None and tree["span_count"] >= 2,
+            "retained trace assembled no span tree",
+        )
+        print("one request, end to end:")
+        for line in tracer.render(recent[0]["trace_id"]).splitlines():
+            print(f"  {line}")
+
+        with MetricsGateway(service) as gateway:
+            host, port = gateway.address
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/metrics", timeout=10
+            ) as resp:
+                exposition = resp.read().decode()
+            # Malformed exposition = broken scrape pipeline: every
+            # non-comment line must be `name{labels} value` with a
+            # float-parsable value, and the core series must be present.
+            for line in exposition.strip().splitlines():
+                if line.startswith("#"):
+                    _check(
+                        line.startswith("# TYPE "),
+                        f"malformed comment line in exposition: {line!r}",
+                    )
+                    continue
+                _, _, value_part = line.rpartition(" ")
+                try:
+                    float(value_part)
+                except ValueError:
+                    _check(False, f"malformed exposition line: {line!r}")
+            for series in (
+                "repro_requests_total",
+                "repro_per_shard_requests",
+                "repro_per_version_served",
+                "repro_slo_burn_rate",
+                "repro_spans_recorded_total",
+            ):
+                _check(series in exposition, f"exposition missing {series}")
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/metrics?format=json", timeout=10
+            ) as resp:
+                snapshot = json.loads(resp.read())
+            for key in ("requests", "per_shard", "per_version", "slo_burn_rate"):
+                _check(key in snapshot, f"JSON snapshot missing {key}")
+            _check(
+                snapshot["requests"] == metrics["requests"]
+                or snapshot["requests"] >= metrics["requests"],
+                "gateway snapshot lost requests",
+            )
+            shown = exposition.strip().splitlines()
+            print(f"/metrics exposition ({len(shown)} lines), first 12:")
+            for line in shown[:12]:
+                print(f"  {line}")
         print("all smoke checks passed")
 
 

@@ -13,6 +13,7 @@ of recorded latencies.
 """
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
@@ -47,18 +48,30 @@ class LatencySummary:
 
 
 def latency_percentiles(samples) -> LatencySummary:
-    """Summarize latency samples (empty input gives an all-zero summary)."""
+    """Summarize latency samples (empty input gives an all-zero summary).
+
+    Percentiles are **nearest-rank** (the smallest sample with at least
+    ``q%`` of the distribution at or below it), not interpolated: every
+    reported tail is a latency some request actually paid, a single
+    sample reports itself for every percentile, and p99 at small n is
+    the max rather than an invented point beyond any observation.
+    """
     arr = np.asarray(list(samples), dtype=np.float64)
     if arr.size == 0:
         return LatencySummary(count=0, mean=0.0, p50=0.0, p90=0.0, p99=0.0, max=0.0)
-    p50, p90, p99 = np.percentile(arr, [50, 90, 99])
+    arr.sort()
+    n = int(arr.size)
+
+    def rank(q: float) -> float:
+        return float(arr[min(max(math.ceil(q / 100.0 * n) - 1, 0), n - 1)])
+
     return LatencySummary(
-        count=int(arr.size),
+        count=n,
         mean=float(arr.mean()),
-        p50=float(p50),
-        p90=float(p90),
-        p99=float(p99),
-        max=float(arr.max()),
+        p50=rank(50),
+        p90=rank(90),
+        p99=rank(99),
+        max=float(arr[-1]),
     )
 
 
@@ -100,9 +113,14 @@ class ServingStats:
     per-shard breakdown that makes a sharded executor observable.
     """
 
+    #: Smoothing weight of the response-latency EWMA (the SLO burn-rate
+    #: gauges' low-cost trend signal; the deque still holds the window).
+    _LATENCY_EWMA_ALPHA = 0.05
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._started = time.perf_counter()
+        self._latency_ewma: float | None = None
         self.requests = 0
         self.errors = 0
         self.cache_hits = 0
@@ -149,6 +167,13 @@ class ServingStats:
             if error:
                 self.errors += 1
             self._latencies.append(latency_s)
+            if self._latency_ewma is None:
+                self._latency_ewma = latency_s
+            else:
+                alpha = self._LATENCY_EWMA_ALPHA
+                self._latency_ewma = (
+                    (1.0 - alpha) * self._latency_ewma + alpha * latency_s
+                )
             if shard is not None:
                 stats = self._shard(shard)
                 stats.requests += 1
@@ -358,6 +383,53 @@ class ServingStats:
                 }
             return out
 
+    def slo_window(self, target_s: float) -> dict[str, float]:
+        """The raw SLO inputs over the retained latency window.
+
+        Returns the window size, the fraction of windowed responses
+        slower than ``target_s``, and the latency EWMA. The burn-rate
+        math itself lives with the telemetry registry — this layer only
+        reports what it measured.
+        """
+        with self._lock:
+            window = len(self._latencies)
+            violations = sum(1 for v in self._latencies if v > target_s)
+            return {
+                "window": float(window),
+                "violation_fraction": violations / window if window else 0.0,
+                "latency_ewma_s": (
+                    self._latency_ewma if self._latency_ewma is not None else 0.0
+                ),
+            }
+
+    def register_into(self, registry) -> None:
+        """Contribute the flat serving snapshot to a telemetry registry.
+
+        Duck-typed (``register_collector`` / ``mark_counter``) so the
+        evaluation layer keeps zero imports on the serving package. The
+        resilience counters (``degraded``, ``deadline_expired``,
+        ``overload_rejections``, ``breaker_blocks``) become first-class
+        counter-typed series instead of dict entries consumers must dig
+        out of nested snapshots.
+        """
+        registry.register_collector("serving_stats", self.snapshot)
+        registry.mark_counter(
+            "requests",
+            "errors",
+            "cache_hits",
+            "batches",
+            "model_forwards",
+            "shadow_forwards",
+            "cache_hit_shadows",
+            "placement_changes",
+            "placement_moves",
+            "degraded",
+            "deadline_expired",
+            "overload_rejections",
+            "abandoned",
+            "breaker_blocks",
+        )
+
     def snapshot(self) -> dict[str, float]:
         """Current metrics as a flat dict.
 
@@ -373,6 +445,7 @@ class ServingStats:
                 "requests": float(self.requests),
                 "errors": float(self.errors),
                 "qps": self.requests / elapsed,
+                "cache_hits": float(self.cache_hits),
                 "cache_hit_rate": self.cache_hits / self.requests if self.requests else 0.0,
                 "batches": float(self.batches),
                 "batch_occupancy": self.batched_requests / self.batches if self.batches else 0.0,

@@ -39,6 +39,17 @@ degradation to the analytical TPU model (:class:`AnalyticalFallback`) —
 the serving contract being that every request resolves within its
 deadline as an answer, a typed error, or a ``degraded`` analytical
 answer, never a hang.
+
+Observability (:mod:`repro.serving.telemetry` +
+:mod:`repro.serving.http_gateway`) makes the whole stack inspectable:
+a :class:`Tracer` records per-request spans across every layer boundary
+(frontend → scheduler → executor → worker subprocess) with
+deterministic hash sampling and zero overhead when disabled, a
+:class:`TelemetryRegistry` merges every component's counters into one
+lock-consistent snapshot with Prometheus text exposition and SLO
+burn-rate gauges, and the read-only :class:`MetricsGateway` serves
+``/metrics``, ``/traces/<id>``, ``/traces/recent``, and ``/healthz``
+over HTTP.
 """
 from .client import EvaluatorClient, ServiceEvaluator, SocketEvaluator
 from .faults import (
@@ -67,6 +78,7 @@ from .executors import (
     WorkerDiedError,
 )
 from .frontend import Frontend, InProcessFrontend, SocketFrontend
+from .http_gateway import PROMETHEUS_CONTENT_TYPE, MetricsGateway
 from .placement import (
     DEFAULT_BUCKETS,
     BucketMove,
@@ -132,6 +144,17 @@ from .rollout import (
 )
 from .scheduler import MicroBatcher, PendingRequest
 from .service import EXECUTOR_CHOICES, CostModelService, ServiceConfig
+from .telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Span,
+    TelemetryRegistry,
+    TraceContext,
+    Tracer,
+    slo_burn_rate,
+    trace_unit_hash,
+)
 
 __all__ = [
     "ANALYTICAL_VERSION",
@@ -147,6 +170,7 @@ __all__ = [
     "FAULT_KINDS",
     "IDLE",
     "NEED_KERNEL_PREFIX",
+    "PROMETHEUS_CONTENT_TYPE",
     "PROMOTED",
     "ROLLED_BACK",
     "ROLLOUT_STATES",
@@ -158,10 +182,13 @@ __all__ = [
     "CommandResult",
     "ConnectionLost",
     "CostModelService",
+    "Counter",
     "CrashLoopBackoff",
     "DeadlineExceeded",
     "EvaluatorClient",
     "Executor",
+    "Gauge",
+    "Histogram",
     "FaultInjector",
     "FaultPlan",
     "FaultRule",
@@ -172,6 +199,7 @@ __all__ = [
     "InProcessFrontend",
     "InThreadExecutor",
     "KernelRuntimeRequest",
+    "MetricsGateway",
     "MicroBatcher",
     "ModelRegistry",
     "Overloaded",
@@ -199,8 +227,12 @@ __all__ = [
     "ShadowScore",
     "SocketEvaluator",
     "SocketFrontend",
+    "Span",
+    "TelemetryRegistry",
     "TileCommand",
     "TileScoresRequest",
+    "TraceContext",
+    "Tracer",
     "UnknownKernelError",
     "WindowSnapshot",
     "WireError",
@@ -220,5 +252,7 @@ __all__ = [
     "request_unit_hash",
     "send_frame",
     "shard_of",
+    "slo_burn_rate",
     "tile_measurement",
+    "trace_unit_hash",
 ]

@@ -39,6 +39,7 @@ import multiprocessing
 import os
 import signal
 import threading
+import time
 import traceback
 from abc import ABC, abstractmethod
 from collections import OrderedDict
@@ -59,19 +60,30 @@ from .workers import shard_worker
 
 @dataclass(frozen=True)
 class TileCommand:
-    """One coalesced tile-scoring forward: all tiles of one kernel."""
+    """One coalesced tile-scoring forward: all tiles of one kernel.
+
+    ``trace`` is an optional ``(trace_id, parent_span_id)`` token from
+    the telemetry layer; executors that honour it report the forward's
+    span back in :attr:`CommandResult.spans`. ``None`` (the default and
+    the untraced path) changes nothing on the wire or in behaviour.
+    """
 
     shard: int
     kernel: Kernel
     tiles: tuple[TileConfig, ...]
+    trace: tuple | None = None
 
 
 @dataclass(frozen=True)
 class ProgramCommand:
-    """One coalesced program-pricing forward over many kernel tuples."""
+    """One coalesced program-pricing forward over many kernel tuples.
+
+    ``trace`` — see :class:`TileCommand`.
+    """
 
     shard: int
     programs: tuple[tuple[Kernel, ...], ...]
+    trace: tuple | None = None
 
 
 Command = TileCommand | ProgramCommand
@@ -90,12 +102,33 @@ class CommandResult:
     infrastructure failures to the shard's circuit breaker and the
     graceful-degradation path; a model error is the request's own fault
     and is surfaced as-is.
+
+    ``spans`` carries plain span dicts recorded where the forward ran
+    (inside a shard-worker subprocess, or on the executing thread) for
+    traced commands; the service re-parents them into each sampled
+    request's trace. Empty for untraced commands.
     """
 
     value: np.ndarray | None = None
     error: str | None = None
     forwards: int = 1
     infra: bool = False
+    spans: tuple = ()
+
+
+def forward_span(trace: tuple, start: float, shard: int, process: str) -> dict:
+    """A plain span dict for one traced forward (``(trace_id, parent)``
+    token in, :attr:`CommandResult.spans` entry out — the same shape the
+    shard workers ship over the pipe)."""
+    return {
+        "trace_id": trace[0],
+        "parent_id": trace[1],
+        "name": "worker.forward",
+        "start": start,
+        "end": time.time(),
+        "process": process,
+        "attrs": {"shard": shard, "pid": os.getpid()},
+    }
 
 
 class Executor(ABC):
@@ -244,12 +277,24 @@ class InThreadExecutor(Executor):
             groups = [
                 (commands[i].kernel, list(commands[i].tiles)) for i in indices
             ]
+            trace = next(
+                (commands[i].trace for i in indices
+                 if commands[i].trace is not None),
+                None,
+            )
+            started = time.time() if trace is not None else 0.0
             try:
                 arrays = evaluator.score_tile_groups(groups)
+                spans: tuple = ()
+                if trace is not None:
+                    # One shared fused forward: every command in it gets
+                    # the span (it describes the forward each rode in).
+                    spans = (forward_span(trace, started, shard, "replica"),)
                 for position, (index, value) in enumerate(zip(indices, arrays)):
                     results[index] = CommandResult(
                         value=np.asarray(value),
                         forwards=1 if position == 0 else 0,
+                        spans=spans,
                     )
             except Exception:
                 message = traceback.format_exc()
@@ -265,6 +310,7 @@ class InThreadExecutor(Executor):
             if results[index] is not None:
                 continue
             evaluator = pool.replicas[command.shard]
+            started = time.time() if command.trace is not None else 0.0
             try:
                 if isinstance(command, TileCommand):
                     value = evaluator.score_tiles_batched(
@@ -274,7 +320,16 @@ class InThreadExecutor(Executor):
                     value = evaluator.program_runtimes_batched(
                         [list(kernels) for kernels in command.programs]
                     )
-                results[index] = CommandResult(value=np.asarray(value))
+                spans = (
+                    (forward_span(
+                        command.trace, started, command.shard, "replica"
+                    ),)
+                    if command.trace is not None
+                    else ()
+                )
+                results[index] = CommandResult(
+                    value=np.asarray(value), spans=spans
+                )
             except Exception:
                 results[index] = CommandResult(error=traceback.format_exc())
         return results
@@ -615,29 +670,52 @@ class ProcessShardExecutor(Executor):
         for fingerprint in fingerprints:
             shard.known.pop(fingerprint, None)
 
+    @staticmethod
+    def _with_trace(message: tuple, trace: tuple | None) -> tuple:
+        """Append a ``(trace_id, parent_span_id)`` pipe token, if any.
+
+        Untraced messages keep their exact pre-telemetry shape (and the
+        worker keeps its exact pre-telemetry replies), which is what the
+        bitwise-identity gate relies on.
+        """
+        return message + (trace,) if trace is not None else message
+
+    @staticmethod
+    def _reply_spans(reply) -> tuple:
+        """Worker-recorded span dicts riding on an ``ok`` reply."""
+        return tuple(reply[2]) if len(reply) > 2 else ()
+
     def _execute_one_locked(self, shard: _Shard, command: Command):
         """Round-trip one command; returns the worker's reply tuple."""
         if isinstance(command, TileCommand):
-            shard.conn.send(("tiles",) + self._tile_entry(command, shard, False))
+            shard.conn.send(self._with_trace(
+                ("tiles",) + self._tile_entry(command, shard, False),
+                command.trace,
+            ))
             reply = self._recv_locked(shard)
             if reply[0] == "miss":
                 # The worker evicted this kernel from its interning map;
                 # retry with the kernel attached.
                 shard.known.pop(command.kernel.fingerprint(), None)
-                shard.conn.send(
-                    ("tiles",) + self._tile_entry(command, shard, True)
-                )
+                shard.conn.send(self._with_trace(
+                    ("tiles",) + self._tile_entry(command, shard, True),
+                    command.trace,
+                ))
                 reply = self._recv_locked(shard)
             if reply[0] == "ok":
                 self._remember_known_locked(shard, command.kernel.fingerprint())
             return reply
-        shard.conn.send(("programs", self._program_entries(command, shard, False)))
+        shard.conn.send(self._with_trace(
+            ("programs", self._program_entries(command, shard, False)),
+            command.trace,
+        ))
         reply = self._recv_locked(shard)
         if reply[0] == "miss":
             self._forget_locked(shard, reply[1])
-            shard.conn.send(
-                ("programs", self._program_entries(command, shard, True))
-            )
+            shard.conn.send(self._with_trace(
+                ("programs", self._program_entries(command, shard, True)),
+                command.trace,
+            ))
             reply = self._recv_locked(shard)
         if reply[0] == "ok":
             self._remember_program_locked(shard, command)
@@ -656,16 +734,21 @@ class ProcessShardExecutor(Executor):
             (i, c) for i, c in items if isinstance(c, ProgramCommand)
         ]
         if tile_items:
-            shard.conn.send(
+            trace = next(
+                (c.trace for _, c in tile_items if c.trace is not None), None
+            )
+            shard.conn.send(self._with_trace(
                 (
                     "tile_batch",
                     [self._tile_entry(c, shard, False) for _, c in tile_items],
-                )
-            )
+                ),
+                trace,
+            ))
         for _, command in program_items:
-            shard.conn.send(
-                ("programs", self._program_entries(command, shard, False))
-            )
+            shard.conn.send(self._with_trace(
+                ("programs", self._program_entries(command, shard, False)),
+                command.trace,
+            ))
         return tile_items, program_items
 
     def _resolve_tile_batch_locked(
@@ -677,12 +760,15 @@ class ProcessShardExecutor(Executor):
     ) -> None:
         """Fan a fused tile_batch reply back out to per-command results."""
         if reply[0] == "ok":
+            spans = self._reply_spans(reply)
             for position, ((index, command), value) in enumerate(
                 zip(tile_items, reply[1])
             ):
                 self._remember_known_locked(shard, command.kernel.fingerprint())
                 results[index] = CommandResult(
-                    value=value, forwards=1 if position == 0 else 0
+                    value=value,
+                    forwards=1 if position == 0 else 0,
+                    spans=spans,
                 )
                 shard.commands += 1
         else:
@@ -706,7 +792,9 @@ class ProcessShardExecutor(Executor):
         shard.commands += 1
         if reply[0] == "ok":
             self._remember_program_locked(shard, command)
-            results[index] = CommandResult(value=reply[1])
+            results[index] = CommandResult(
+                value=reply[1], spans=self._reply_spans(reply)
+            )
         else:
             message = (
                 str(reply[1])
@@ -743,16 +831,21 @@ class ProcessShardExecutor(Executor):
             # The worker evicted some referenced kernels: resend the whole
             # fused batch with every kernel attached.
             self._forget_locked(shard, tile_reply[1])
-            shard.conn.send(
+            trace = next(
+                (c.trace for _, c in tile_items if c.trace is not None), None
+            )
+            shard.conn.send(self._with_trace(
                 (
                     "tile_batch",
                     [self._tile_entry(c, shard, True) for _, c in tile_items],
-                )
-            )
+                ),
+                trace,
+            ))
         for index, command in deferred:
-            shard.conn.send(
-                ("programs", self._program_entries(command, shard, True))
-            )
+            shard.conn.send(self._with_trace(
+                ("programs", self._program_entries(command, shard, True)),
+                command.trace,
+            ))
         if retry_tiles:
             tile_reply = self._recv_locked(shard)
         if tile_items:
@@ -784,7 +877,9 @@ class ProcessShardExecutor(Executor):
                 shard.commands += 1
                 shard.backoff.record_success()
                 if reply[0] == "ok":
-                    results[index] = CommandResult(value=reply[1])
+                    results[index] = CommandResult(
+                        value=reply[1], spans=self._reply_spans(reply)
+                    )
                 else:
                     results[index] = CommandResult(error=str(reply[1]))
             except _PIPE_ERRORS:

@@ -303,6 +303,31 @@ class FeedbackCollector:
             self._samples.clear()
             return samples
 
+    def register_into(self, registry) -> None:
+        """Contribute the join-pipeline counters to a telemetry registry.
+
+        Flat keys are prefixed ``feedback_`` (the per-version windows
+        already reach the registry through the service's ``per_version``
+        merge, so only the pipeline health counters are added here).
+        """
+
+        def _snapshot() -> dict:
+            snap = self.snapshot()
+            return {
+                f"feedback_{key}": value
+                for key, value in snap.items()
+                if key != "versions"
+            }
+
+        registry.register_collector("feedback", _snapshot)
+        registry.mark_counter(
+            "feedback_predictions",
+            "feedback_measurements",
+            "feedback_joined",
+            "feedback_unmatched_measurements",
+            "feedback_dropped_pending",
+        )
+
     def snapshot(self) -> dict:
         """Flat counters plus the per-version window summaries."""
         with self._lock:

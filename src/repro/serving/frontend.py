@@ -34,7 +34,7 @@ import socket
 import threading
 import time
 from concurrent.futures import Future, InvalidStateError
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from .client import ServiceEvaluator
 from .faults import FaultInjector, corrupt_bytes
@@ -262,6 +262,8 @@ class SocketFrontend(Frontend):
     ) -> None:
         with self._lock:
             self.frames_in += 1
+        tracer = self.service.tracer
+        recv_at = time.time() if tracer is not None else 0.0
         try:
             request = decode_request(
                 body,
@@ -297,6 +299,27 @@ class SocketFrontend(Frontend):
                 deadline_s=1.0,
             )
             return
+        if tracer is not None:
+            # Open (or adopt, for client-stamped contexts) the trace
+            # here, where the frame actually arrived — the root span's
+            # start predates decode, and the recv/decode cost shows as
+            # its first child.
+            ctx = tracer.ingress(
+                request, process="frontend", name="request", start=recv_at
+            )
+            if ctx is not None:
+                tracer.record(
+                    ctx,
+                    "frontend.recv",
+                    start=recv_at,
+                    process="frontend",
+                    attrs={"transport": "socket", "bytes": len(body)},
+                )
+                request = replace(request, trace=ctx)
+            elif getattr(request, "trace", None) is not None:
+                # Sampled out: strip the wire context so no downstream
+                # hook mistakes the request for a traced one.
+                request = replace(request, trace=None)
         try:
             future = self.service.submit(request)
         except Overloaded as exc:

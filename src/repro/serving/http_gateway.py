@@ -1,0 +1,220 @@
+"""Read-only HTTP ops gateway: metrics exposition + trace lookup.
+
+The first third of the ROADMAP's "multi-protocol edge gateway + live ops
+console" item: a minimal stdlib ``http.server`` endpoint bound to one
+:class:`~repro.serving.service.CostModelService`, serving the telemetry
+registry and the tracer over plain HTTP so standard tooling (Prometheus,
+``curl``, a browser) can watch a running service without linking against
+it. Deliberately **read-only** — control verbs (drain, rollback, scale)
+and runbook automation stay future work; this surface can be pointed at
+a production service without handing out a control plane.
+
+Endpoints:
+
+* ``GET /healthz`` — liveness + the active checkpoint version (JSON).
+* ``GET /metrics`` — the registry snapshot in Prometheus text
+  exposition format; ``?format=json`` returns the same snapshot as one
+  JSON document (nested dicts intact).
+* ``GET /traces/recent`` — summaries of the newest retained traces
+  (``?n=`` bounds the count, default 20).
+* ``GET /traces/<trace_id>`` — one assembled trace tree as JSON;
+  ``?format=text`` returns the ASCII rendering instead.
+
+Trace endpoints answer ``503`` when the service has no tracer attached
+(tracing disabled is the zero-overhead default) and ``404`` for ids the
+ring buffer no longer retains.
+
+The gateway itself is instrumented: its request counter, error counter,
+and latency histogram land in the same registry it serves, so a scrape
+shows the cost of scraping.
+"""
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsGateway:
+    """Serve one service's telemetry registry + tracer over HTTP.
+
+    Args:
+        service: the :class:`CostModelService` to expose. Its lazy
+            ``telemetry`` registry is built on construction (the gateway
+            exists to read it) and the gateway's own instruments are
+            registered into it.
+        host: bind address (default loopback — an ops surface should
+            not listen on all interfaces unless asked to).
+        port: bind port; 0 picks a free one (read :attr:`address`).
+
+    The server runs on a daemon thread pool (one thread per in-flight
+    request, stdlib ``ThreadingHTTPServer``); every handler only *reads*
+    service state, so a slow scrape can never block the serving path.
+    Context-manager friendly; :meth:`close` is idempotent.
+    """
+
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        registry = service.telemetry
+        self._requests = registry.counter(
+            "gateway_requests", help="HTTP requests the ops gateway served"
+        )
+        self._errors = registry.counter(
+            "gateway_errors", help="gateway responses with status >= 400"
+        )
+        self._latency = registry.histogram(
+            "gateway_latency_s", help="gateway request handling latency"
+        )
+        gateway = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            # Ops endpoints must not spam the service's stdout/stderr.
+            def log_message(self, format, *args):  # noqa: A002
+                pass
+
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                gateway._handle(self)
+
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self.address: tuple[str, int] = self._server.server_address[:2]
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="metrics-gateway",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------ #
+    # request handling
+    # ------------------------------------------------------------------ #
+
+    def _handle(self, handler: BaseHTTPRequestHandler) -> None:
+        started = time.perf_counter()
+        try:
+            status = self._route(handler)
+        except BrokenPipeError:
+            status = 0  # peer went away mid-write; nothing to answer
+        except Exception as exc:
+            status = 500
+            try:
+                self._send(
+                    handler, 500, {"error": f"{type(exc).__name__}: {exc}"}
+                )
+            except OSError:
+                pass
+        self._requests.inc()
+        if status >= 400:
+            self._errors.inc()
+        self._latency.observe(time.perf_counter() - started)
+
+    def _route(self, handler: BaseHTTPRequestHandler) -> int:
+        url = urlparse(handler.path)
+        query = parse_qs(url.query)
+        parts = [p for p in url.path.split("/") if p]
+        if url.path == "/healthz":
+            return self._send(
+                handler,
+                200,
+                {
+                    "status": "ok",
+                    "running": bool(self.service.is_running),
+                    "active_version": self.service.registry.active_version,
+                    "tracing": self.service.tracer is not None,
+                },
+            )
+        if url.path == "/metrics":
+            registry = self.service.telemetry
+            if query.get("format", [""])[0] == "json":
+                return self._send_raw(
+                    handler, 200, registry.json().encode(), "application/json"
+                )
+            return self._send_raw(
+                handler,
+                200,
+                registry.prometheus().encode(),
+                PROMETHEUS_CONTENT_TYPE,
+            )
+        if parts and parts[0] == "traces":
+            tracer = self.service.tracer
+            if tracer is None:
+                return self._send(
+                    handler, 503, {"error": "tracing is not enabled"}
+                )
+            if len(parts) == 2 and parts[1] == "recent":
+                try:
+                    n = int(query.get("n", ["20"])[0])
+                except ValueError:
+                    return self._send(handler, 400, {"error": "bad n"})
+                return self._send(handler, 200, {"traces": tracer.recent(n)})
+            if len(parts) == 2:
+                trace_id = parts[1]
+                if query.get("format", [""])[0] == "text":
+                    rendered = tracer.render(trace_id)
+                    status = 404 if rendered.endswith("not retained") else 200
+                    return self._send_raw(
+                        handler,
+                        status,
+                        (rendered + "\n").encode(),
+                        "text/plain; charset=utf-8",
+                    )
+                tree = tracer.trace(trace_id)
+                if tree is None:
+                    return self._send(
+                        handler, 404, {"error": f"trace {trace_id} not retained"}
+                    )
+                return self._send(handler, 200, tree)
+        return self._send(handler, 404, {"error": f"no route for {url.path}"})
+
+    @staticmethod
+    def _send(handler: BaseHTTPRequestHandler, status: int, payload: dict) -> int:
+        body = json.dumps(payload, default=str).encode()
+        return MetricsGateway._send_raw(
+            handler, status, body, "application/json"
+        )
+
+    @staticmethod
+    def _send_raw(
+        handler: BaseHTTPRequestHandler,
+        status: int,
+        body: bytes,
+        content_type: str,
+    ) -> int:
+        handler.send_response(status)
+        handler.send_header("Content-Type", content_type)
+        handler.send_header("Content-Length", str(len(body)))
+        handler.end_headers()
+        handler.wfile.write(body)
+        return status
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Stop serving; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._server.shutdown()
+        self._thread.join(timeout=2)
+        self._server.server_close()
+
+    def __enter__(self) -> "MetricsGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["MetricsGateway", "PROMETHEUS_CONTENT_TYPE"]

@@ -318,6 +318,17 @@ class PlacementController:
                 shard_map.snapshot_loads(reset=True)
         except Exception:
             pass
+        # Contribute the load/latency EWMAs and rebalance history to the
+        # service's telemetry registry (fakes without one skip this).
+        try:
+            registry = getattr(self.service, "telemetry", None)
+            if registry is not None:
+                registry.register_collector(
+                    "placement_controller",
+                    lambda: {"placement_controller": self.describe()},
+                )
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------ #
     # observation

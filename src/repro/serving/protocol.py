@@ -37,6 +37,7 @@ import numpy as np
 
 from ..compiler.kernels import Kernel
 from ..compiler.tiling import TileConfig
+from .telemetry import TraceContext
 
 
 class WireError(ValueError):
@@ -134,6 +135,16 @@ def kernel_interner() -> "OrderedDict[str, Kernel]":
     return OrderedDict()
 
 
+def _trace_field(trace: TraceContext | None) -> dict:
+    """The optional wire form of a trace context.
+
+    Untraced requests add no bytes at all; traced ones carry a small JSON
+    entry old peers never look at — the same optional-field discipline as
+    ``deadline_s`` and the rollout tags.
+    """
+    return {"trace": trace.to_wire()} if trace is not None else {}
+
+
 def lru_touch(mapping: OrderedDict, key, value, max_entries: int) -> None:
     """Insert/refresh ``key`` in a bounded LRU ``OrderedDict``.
 
@@ -159,11 +170,16 @@ class TileScoresRequest:
             ``deadline_exceeded`` once expired. ``None`` = no deadline.
             Deliberately excluded from :meth:`cache_key` — a cached value
             answers the same query content regardless of its deadline.
+        trace: sampled tracing context, or ``None`` (the overwhelmingly
+            common case). Like ``deadline_s``, excluded from
+            :meth:`cache_key`: a trace annotates a submission, it never
+            changes the answer.
     """
 
     kernel: Kernel
     tiles: tuple[TileConfig, ...]
     deadline_s: float | None = None
+    trace: TraceContext | None = None
 
     def shard_key(self) -> str:
         return self.kernel.fingerprint()
@@ -180,6 +196,7 @@ class TileScoresRequest:
             kernel=_kernel_to_wire(self.kernel, known),
             tiles=[list(t.dims) for t in self.tiles],
             deadline_s=self.deadline_s,
+            **_trace_field(self.trace),
         )
 
     @classmethod
@@ -187,8 +204,10 @@ class TileScoresRequest:
         return cls(
             kernel=_kernel_from_wire(payload["kernel"], interner, max_interned),
             tiles=tuple(TileConfig(dims=tuple(d)) for d in payload["tiles"]),
-            # .get(): frames from a pre-deadline peer still decode.
+            # .get(): frames from a pre-deadline/pre-tracing peer still
+            # decode.
             deadline_s=payload.get("deadline_s"),
+            trace=TraceContext.from_wire(payload.get("trace")),
         )
 
 
@@ -198,6 +217,7 @@ class KernelRuntimeRequest:
 
     kernel: Kernel
     deadline_s: float | None = None
+    trace: TraceContext | None = None
 
     def shard_key(self) -> str:
         return self.kernel.fingerprint()
@@ -213,6 +233,7 @@ class KernelRuntimeRequest:
             "kernel_runtime",
             kernel=_kernel_to_wire(self.kernel, known),
             deadline_s=self.deadline_s,
+            **_trace_field(self.trace),
         )
 
     @classmethod
@@ -220,6 +241,7 @@ class KernelRuntimeRequest:
         return cls(
             kernel=_kernel_from_wire(payload["kernel"], interner, max_interned),
             deadline_s=payload.get("deadline_s"),
+            trace=TraceContext.from_wire(payload.get("trace")),
         )
 
 
@@ -234,6 +256,7 @@ class ProgramRuntimesRequest:
 
     programs: tuple[tuple[Kernel, ...], ...]
     deadline_s: float | None = None
+    trace: TraceContext | None = None
 
     def shard_key(self) -> str:
         # Route whole populations by their first kernel so one replica's
@@ -259,6 +282,7 @@ class ProgramRuntimesRequest:
                 for kernels in self.programs
             ],
             deadline_s=self.deadline_s,
+            **_trace_field(self.trace),
         )
 
     @classmethod
@@ -271,6 +295,7 @@ class ProgramRuntimesRequest:
                 for kernels in payload["programs"]
             ),
             deadline_s=payload.get("deadline_s"),
+            trace=TraceContext.from_wire(payload.get("trace")),
         )
 
 
@@ -358,6 +383,9 @@ class Response:
             a published checkpoint (``model_version`` is then the
             analytical stamp). Honest but lower-fidelity — clients may
             treat it differently (e.g. skip feedback collection).
+        trace_id: id of the sampled trace this request was recorded
+            under, or ``None`` (unsampled / tracing off). Lets a client
+            fetch its own trace tree from the ops gateway.
     """
 
     value: np.ndarray | float | None
@@ -370,6 +398,7 @@ class Response:
     shadowed_by: str | None = None
     error_code: str | None = None
     degraded: bool = False
+    trace_id: str | None = None
 
     def unwrap(self) -> np.ndarray | float:
         """The value, raising ``RuntimeError`` if the request failed."""
@@ -408,6 +437,7 @@ class Response:
                 "shadowed_by": self.shadowed_by,
                 "error_code": self.error_code,
                 "degraded": self.degraded,
+                "trace_id": self.trace_id,
             }
         ).encode()
         return struct.pack(">I", len(header)) + header + payload
@@ -442,6 +472,7 @@ class Response:
                 shadowed_by=header.get("shadowed_by"),
                 error_code=header.get("error_code"),
                 degraded=bool(header.get("degraded", False)),
+                trace_id=header.get("trace_id"),
             )
         except WireError:
             raise

@@ -302,6 +302,10 @@ class CircuitBreaker:
                 total += self._clock() - self._opened_at
             return total
 
+    #: Numeric encoding of breaker states for metrics exposition (a
+    #: labeled gauge can be graphed/alerted on; the string cannot).
+    _STATE_CODES = {"closed": 0.0, "half-open": 1.0, "open": 2.0}
+
     def snapshot(self) -> dict:
         with self._lock:
             open_s = self._open_seconds
@@ -309,6 +313,7 @@ class CircuitBreaker:
                 open_s += self._clock() - self._opened_at
             return {
                 "state": self._state,
+                "state_code": self._STATE_CODES.get(self._state, -1.0),
                 "consecutive_failures": self._consecutive,
                 "opens": self.opens,
                 "probes": self.probes,

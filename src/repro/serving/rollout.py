@@ -288,6 +288,17 @@ class RolloutController:
         self._phase_entry_count = 0
         self._phase_entered_at: float | None = None
         self.transitions: list[RolloutTransition] = []
+        # Contribute the controller's state machine to the service's
+        # telemetry registry (fakes/mocks without one simply skip this).
+        try:
+            registry = getattr(service, "telemetry", None)
+            if registry is not None:
+                registry.register_collector(
+                    "rollout_controller",
+                    lambda: {"rollout_controller": self.describe()},
+                )
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------ #
     # lifecycle

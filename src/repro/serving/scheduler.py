@@ -242,6 +242,26 @@ class MicroBatcher:
             self._closed = True
             self._nonempty.notify_all()
 
+    def register_into(self, registry) -> None:
+        """Contribute queue accounting to a telemetry registry.
+
+        Duck-typed (any object with ``register_collector`` /
+        ``mark_counter``) so the scheduling core keeps zero imports on
+        the telemetry module.
+        """
+
+        def _snapshot() -> dict:
+            with self._lock:
+                return {
+                    "scheduler_submitted": float(self.submitted),
+                    "scheduler_rejected": float(self.rejected),
+                    "scheduler_pending_now": float(len(self._pending)),
+                    "scheduler_max_pending": float(self.max_pending),
+                }
+
+        registry.register_collector("scheduler", _snapshot)
+        registry.mark_counter("scheduler_submitted", "scheduler_rejected")
+
     def queue_pressure(self) -> float:
         """Smoothed backlog at batch-cut time, in units of batch capacity.
 

@@ -52,7 +52,7 @@ import threading
 import time
 import traceback
 from concurrent.futures import Future
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -88,6 +88,7 @@ from .resilience import (
 )
 from .rollout import FullActivation, RolloutPolicy, request_unit_hash
 from .scheduler import MicroBatcher, PendingRequest
+from .telemetry import TelemetryRegistry, Tracer, slo_burn_rate
 
 EXECUTOR_CHOICES = ("thread", "process")
 """Execution backends: in-thread replica pool, or per-shard subprocesses."""
@@ -156,6 +157,12 @@ class ServiceConfig:
             model (tagged ``degraded=True``) when a shard's breaker is
             open or its worker cannot serve, instead of failing them —
             tuners keep making progress through an outage.
+        slo_target_latency_s: per-request latency objective backing the
+            telemetry registry's SLO burn-rate gauges (a response slower
+            than this counts against the error budget).
+        slo_objective: fraction of requests that must meet the latency
+            target; ``1 - slo_objective`` is the error budget the burn
+            rate is measured against.
     """
 
     max_batch_size: int = 64
@@ -177,6 +184,8 @@ class ServiceConfig:
     breaker_failure_threshold: int = 5
     breaker_reset_s: float = 2.0
     degrade_to_analytical: bool = True
+    slo_target_latency_s: float = 0.25
+    slo_objective: float = 0.99
 
 
 class CostModelService:
@@ -202,6 +211,12 @@ class CostModelService:
         faults: optional :class:`~repro.serving.faults.FaultInjector`
             wired through to the executor it builds (the chaos harness);
             ``None`` (default) is the zero-overhead healthy path.
+        tracer: optional :class:`~repro.serving.telemetry.Tracer`; when
+            attached, sampled requests record spans at every layer
+            boundary (frontend, scheduler, executor, worker subprocess).
+            ``None`` (default) follows the fault injector's discipline —
+            every tracing hook is a single ``is not None`` check, so the
+            untraced path is byte-for-byte the pre-tracing path.
 
     Responses hand out cached arrays by reference; clients must treat
     response values as read-only.
@@ -215,9 +230,11 @@ class CostModelService:
         rollout: RolloutPolicy | None = None,
         feedback: FeedbackCollector | None = None,
         faults: FaultInjector | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.faults = faults
+        self.tracer = tracer
         if isinstance(source, ModelRegistry):
             self.registry = source
         else:
@@ -248,6 +265,8 @@ class CostModelService:
         self._backlog_lock = threading.Lock()
         self._thread: threading.Thread | None = None
         self._closed = False
+        self._telemetry: TelemetryRegistry | None = None
+        self._telemetry_lock = threading.Lock()
 
     #: Bound on cache-hit shadow requests awaiting an execution slot — a
     #: stalled executor must not queue shadow work without limit.
@@ -422,6 +441,22 @@ class CostModelService:
         the shadow backlog (``shadow_cache_hit_fraction``), so staged
         evidence keeps flowing even when the cache answers everything.
         """
+        tracer = self.tracer
+        ctx = None
+        if tracer is not None:
+            ctx = getattr(request, "trace", None)
+            if ctx is None:
+                # In-process ingress: open the root span here. (The
+                # socket frontend ingresses before submitting, so its
+                # requests arrive with a context already attached.)
+                ctx = tracer.ingress(request, process="frontend", name="request")
+                if ctx is not None:
+                    try:
+                        request = replace(request, trace=ctx)
+                    except TypeError:
+                        # Foreign request-like objects (tests) cannot
+                        # carry a context onward.
+                        ctx = None
         active = self.registry.active_version
         policy = self.get_rollout()
         version = self._route(policy, request, active)
@@ -434,12 +469,16 @@ class CostModelService:
         if key is not None:
             cached = self.result_cache.get((version, key))
             if cached is not None:
+                if ctx is not None:
+                    tracer.event(ctx, "cache.hit", attrs={"version": version})
+                    tracer.finish(ctx, attrs={"cache_hit": True})
                 response = Response(
                     value=cached,
                     model_version=version,
                     batch_size=1,
                     cache_hit=True,
                     canary=version != active,
+                    trace_id=ctx.trace_id if ctx is not None else None,
                 )
                 self.stats.record_response(0.0, cache_hit=True)
                 self.stats.record_route(version, canary=version != active)
@@ -451,6 +490,9 @@ class CostModelService:
             return self.scheduler.submit(request)
         except Overloaded:
             self.stats.record_overload_rejection()
+            if ctx is not None:
+                tracer.event(ctx, "overload.rejected")
+                tracer.finish(ctx, status="error")
             raise
 
     def _maybe_shadow_cache_hit(
@@ -521,21 +563,64 @@ class CostModelService:
     def metrics(self) -> dict:
         """One merged operational snapshot (stats + caches + placement).
 
-        Flat float counters from :class:`ServingStats` and the caches,
-        plus ``per_shard`` — a per-shard breakdown merging the service's
-        routing stats (requests, forwards, latency tails) with the
-        executor's placement/liveness details — and ``per_version`` —
-        per-checkpoint routing volume (served/canary/shadow/errors)
-        merged with the feedback collector's online accuracy windows,
-        the control plane's observable surface.
+        Since the telemetry registry landed this is just
+        ``self.telemetry.collect()`` — every component contributes its
+        snapshot through a registered collector and the merge happens in
+        one lock-consistent pass (the same snapshot the gateway's
+        ``/metrics`` endpoint exposes). Shape is unchanged: flat float
+        counters from :class:`ServingStats` and the caches, plus
+        ``per_shard`` — the service's routing stats merged with the
+        executor's placement/liveness details — ``per_version`` —
+        per-checkpoint routing volume merged with the feedback
+        collector's accuracy windows — ``rollout``, ``breakers``,
+        ``placement``, and the SLO burn-rate gauges.
         """
-        snapshot = self.stats.snapshot()
-        snapshot.update(
-            {f"result_cache_{k}": v for k, v in self.result_cache.stats().items()}
-        )
-        snapshot.update(
-            {f"evaluator_{k}": v for k, v in self.executor.stats().items()}
-        )
+        return self.telemetry.collect()
+
+    @property
+    def telemetry(self) -> TelemetryRegistry:
+        """The unified metrics registry (built lazily on first scrape).
+
+        Components register *collectors* — snapshot callbacks — rather
+        than pushing values, so the registry costs nothing until someone
+        reads it. External controllers (placement, rollout) register
+        their own collectors here when constructed.
+        """
+        with self._telemetry_lock:
+            if self._telemetry is None:
+                self._telemetry = self._build_telemetry()
+            return self._telemetry
+
+    def _build_telemetry(self) -> TelemetryRegistry:
+        registry = TelemetryRegistry()
+        self.stats.register_into(registry)
+        self.scheduler.register_into(registry)
+        registry.register_collector("result_cache", lambda: {
+            f"result_cache_{k}": v for k, v in self.result_cache.stats().items()
+        })
+        registry.register_collector("executor", lambda: {
+            f"evaluator_{k}": v for k, v in self.executor.stats().items()
+        })
+        registry.register_collector("shards", self._collect_shards)
+        registry.register_collector("versions", self._collect_versions)
+        registry.register_collector("deployment", self._collect_deployment)
+        registry.register_collector("breakers", self._collect_breakers)
+        registry.register_collector("fallback", self._collect_fallback)
+        registry.register_collector("placement", self._collect_placement)
+        registry.register_collector("slo", self._collect_slo)
+        if self.feedback is not None:
+            self.feedback.register_into(registry)
+        if self.tracer is not None:
+            registry.register_collector("tracer", self.tracer.snapshot)
+            registry.mark_counter(
+                "traces_started",
+                "traces_evicted",
+                "traces_unsampled",
+                "spans_recorded",
+            )
+        return registry
+
+    def _collect_shards(self) -> dict:
         per_shard = self.stats.shard_snapshot()
         for detail in self.executor.shard_stats():
             # A shard that saw no traffic yet still gets a complete
@@ -543,10 +628,10 @@ class CostModelService:
             entry = per_shard.setdefault(
                 str(detail["shard"]), ServingStats.empty_shard_entry()
             )
-            entry.update(
-                {k: v for k, v in detail.items() if k != "shard"}
-            )
-        snapshot["per_shard"] = per_shard
+            entry.update({k: v for k, v in detail.items() if k != "shard"})
+        return {"per_shard": per_shard}
+
+    def _collect_versions(self) -> dict:
         per_version = self.stats.version_snapshot()
         if self.feedback is not None:
             for version, window in self.feedback.snapshot()["versions"].items():
@@ -554,33 +639,64 @@ class CostModelService:
                     version, ServingStats.empty_version_entry()
                 )
                 entry.update(window)
-        snapshot["per_version"] = per_version
-        policy = self.get_rollout()
-        snapshot["rollout"] = policy.describe()
-        snapshot["active_version"] = self.registry.active_version
-        snapshot["staged_version"] = self.registry.staged_version
-        snapshot["executor"] = type(self.executor).__name__
-        snapshot["replicas"] = float(self.executor.num_shards)
-        snapshot["pending"] = float(len(self.scheduler))
-        snapshot["queue_pressure"] = self.scheduler.queue_pressure()
-        snapshot["flush_interval_effective_s"] = (
-            self.scheduler.effective_flush_interval()
-        )
+        return {"per_version": per_version}
+
+    def _collect_deployment(self) -> dict:
+        return {
+            "rollout": self.get_rollout().describe(),
+            "active_version": self.registry.active_version,
+            "staged_version": self.registry.staged_version,
+            "executor": type(self.executor).__name__,
+            "replicas": float(self.executor.num_shards),
+            "pending": float(len(self.scheduler)),
+            "queue_pressure": self.scheduler.queue_pressure(),
+            "flush_interval_effective_s": (
+                self.scheduler.effective_flush_interval()
+            ),
+        }
+
+    def _collect_breakers(self) -> dict:
         with self._breaker_lock:
             breakers = dict(self._breakers)
-        snapshot["breakers"] = {
-            str(shard): breaker.snapshot() for shard, breaker in breakers.items()
+        return {
+            "breakers": {
+                str(shard): breaker.snapshot()
+                for shard, breaker in breakers.items()
+            },
+            "breaker_open_seconds": sum(
+                b.open_seconds() for b in breakers.values()
+            ),
         }
-        snapshot["breaker_open_seconds"] = sum(
-            b.open_seconds() for b in breakers.values()
-        )
-        if self._fallback is not None:
-            snapshot["fallback_answers"] = float(self._fallback.answers)
-            snapshot["fallback_failures"] = float(self._fallback.failures)
+
+    def _collect_fallback(self) -> dict:
+        if self._fallback is None:
+            return {}
+        return {
+            "fallback_answers": float(self._fallback.answers),
+            "fallback_failures": float(self._fallback.failures),
+        }
+
+    def _collect_placement(self) -> dict:
         shard_map = self.shard_map
-        if shard_map is not None:
-            snapshot["placement"] = shard_map.describe()
-        return snapshot
+        if shard_map is None:
+            return {}
+        return {"placement": shard_map.describe()}
+
+    def _collect_slo(self) -> dict:
+        """SLO burn-rate gauges from the serving latency window/EWMA."""
+        target = self.config.slo_target_latency_s
+        objective = self.config.slo_objective
+        window = self.stats.slo_window(target)
+        return {
+            "slo_target_latency_s": target,
+            "slo_objective": objective,
+            "slo_violation_fraction": window["violation_fraction"],
+            "slo_window_samples": window["window"],
+            "slo_latency_ewma_s": window["latency_ewma_s"],
+            "slo_burn_rate": slo_burn_rate(
+                window["violation_fraction"], objective
+            ),
+        }
 
     # ------------------------------------------------------------------ #
     # worker
@@ -622,6 +738,9 @@ class CostModelService:
             batch = self._shed(batch, active)
             if not batch:
                 return
+            tracer = self.tracer
+            if tracer is not None:
+                cut_wall, cut_perf = time.time(), time.perf_counter()
             groups: dict[str, list[PendingRequest]] = {}
             shadow_groups: dict[str, list[PendingRequest]] = {}
             for pending in batch:
@@ -634,6 +753,28 @@ class CostModelService:
                 groups.setdefault(version, []).append(pending)
                 if shadow is not None:
                     shadow_groups.setdefault(shadow, []).append(pending)
+                if tracer is not None:
+                    ctx = getattr(pending.request, "trace", None)
+                    if ctx is not None:
+                        # Queue wait ends at the batch cut; span times are
+                        # wall-clock, so reconstruct the start from the
+                        # perf_counter enqueue stamp.
+                        tracer.record(
+                            ctx,
+                            "queue.wait",
+                            start=cut_wall - (cut_perf - pending.enqueued_at),
+                            end=cut_wall,
+                            process="scheduler",
+                        )
+                        tracer.event(
+                            ctx, "batch.cut", attrs={"batch_size": len(batch)}
+                        )
+                        route_attrs = {
+                            "version": version, "canary": version != active,
+                        }
+                        if shadow is not None:
+                            route_attrs["shadow"] = shadow
+                        tracer.event(ctx, "route", attrs=route_attrs)
             total_forwards = 0
             for version, sub_batch in groups.items():
                 try:
@@ -731,6 +872,10 @@ class CostModelService:
                 latency = time.perf_counter() - pending.enqueued_at
                 self.stats.record_response(latency, cache_hit=False, shard=shard)
                 self.stats.record_degraded()
+                ctx = self._trace_ctx(pending)
+                if ctx is not None:
+                    self.tracer.event(ctx, "degraded", attrs={"reason": reason})
+                    self.tracer.finish(ctx, status="degraded")
                 pending.future.set_result(
                     Response(
                         value=value,
@@ -738,6 +883,7 @@ class CostModelService:
                         batch_size=1,
                         latency_s=latency,
                         degraded=True,
+                        trace_id=ctx.trace_id if ctx is not None else None,
                     )
                 )
                 return
@@ -816,27 +962,76 @@ class CostModelService:
         # open (and not yet due a half-open probe) never reach the
         # executor — their requests are answered from the analytical
         # fallback instead of queueing behind a known-bad worker.
+        tracer = self.tracer
         run_commands = []
         run_groups = []
+        dispatch_spans: list[tuple] = []  # parallel to run_groups
         for command, group in zip(commands, groups):
             if self._breaker(command.shard).allow():
+                spans: tuple = ()
+                if tracer is not None:
+                    kind, shard, pendings = group
+                    opened = []
+                    for pending in pendings:
+                        ctx = getattr(pending.request, "trace", None)
+                        if ctx is None:
+                            continue
+                        span_id = tracer.start_span(
+                            ctx,
+                            "executor.dispatch",
+                            process="executor",
+                            attrs={
+                                "shard": shard, "kind": kind,
+                                "version": version,
+                            },
+                        )
+                        opened.append((ctx, span_id))
+                    if opened:
+                        # One trace token per fused command: workers tag
+                        # their forward span with it; the result loop
+                        # re-parents copies under every sampled request.
+                        first_ctx, first_span = opened[0]
+                        command = replace(
+                            command, trace=(first_ctx.trace_id, first_span)
+                        )
+                    spans = tuple(opened)
                 run_commands.append(command)
                 run_groups.append(group)
+                dispatch_spans.append(spans)
             else:
                 _, shard, pendings = group
                 self.stats.record_breaker_block(len(pendings))
                 for pending in pendings:
+                    if tracer is not None:
+                        ctx = getattr(pending.request, "trace", None)
+                        if ctx is not None:
+                            tracer.event(
+                                ctx, "breaker.block", attrs={"shard": shard}
+                            )
                     self._degrade_or_fail(
                         pending,
                         version,
                         shard,
                         f"shard {shard} circuit breaker is open",
                     )
-        results = self.executor.run(version, run_commands) if run_commands else []
+        try:
+            results = (
+                self.executor.run(version, run_commands) if run_commands else []
+            )
+        except Exception:
+            if tracer is not None:
+                for spans in dispatch_spans:
+                    for ctx, span_id in spans:
+                        tracer.end_span(ctx.trace_id, span_id, status="error")
+            raise
 
         forwards = 0
-        for (kind, shard, group), result in zip(run_groups, results):
+        for (kind, shard, group), result, spans in zip(
+            run_groups, results, dispatch_spans
+        ):
             if result.error is not None:
+                for ctx, span_id in spans:
+                    tracer.end_span(ctx.trace_id, span_id, status="error")
                 if result.infra:
                     # Infrastructure failure (worker died / hung past the
                     # dispatch timeout / respawn suppressed): feed the
@@ -856,6 +1051,20 @@ class CostModelService:
                         self._resolve_error(pending, version, result.error, shard)
                 continue
             self._breaker(shard).record_success()
+            if spans:
+                # Re-parent the executor-reported spans (worker forwards)
+                # under every sampled request's dispatch span — each
+                # trace sees the shared forward it rode in.
+                for ctx, span_id in spans:
+                    for raw in getattr(result, "spans", ()):
+                        tracer.record_raw(
+                            dict(
+                                raw,
+                                trace_id=ctx.trace_id,
+                                parent_id=span_id,
+                            )
+                        )
+                    tracer.end_span(ctx.trace_id, span_id)
             # Executors report what each command actually cost: a
             # command fused into another's forward reports 0.
             forwards += result.forwards
@@ -944,6 +1153,12 @@ class CostModelService:
                         shadow=True,
                     )
 
+    def _trace_ctx(self, pending: PendingRequest):
+        """The pending request's trace context, if tracing saw it."""
+        if self.tracer is None:
+            return None
+        return getattr(pending.request, "trace", None)
+
     def _resolve(
         self,
         pending: PendingRequest,
@@ -968,6 +1183,16 @@ class CostModelService:
                 value,
                 request=pending.request,
             )
+        ctx = self._trace_ctx(pending)
+        if ctx is not None:
+            self.tracer.finish(
+                ctx,
+                attrs={
+                    "version": version,
+                    "batch_size": group_size,
+                    "shard": shard,
+                },
+            )
         pending.future.set_result(
             Response(
                 value=value,
@@ -976,6 +1201,7 @@ class CostModelService:
                 latency_s=latency,
                 canary=canary,
                 shadowed_by=pending.shadowed_by,
+                trace_id=ctx.trace_id if ctx is not None else None,
             )
         )
 
@@ -992,6 +1218,11 @@ class CostModelService:
         latency = time.perf_counter() - pending.enqueued_at
         self.stats.record_response(latency, cache_hit=False, error=True, shard=shard)
         self.stats.record_route(version, error=True)
+        ctx = self._trace_ctx(pending)
+        if ctx is not None:
+            self.tracer.finish(
+                ctx, status="error", attrs={"error_code": code or "error"}
+            )
         pending.future.set_result(
             Response(
                 value=None,
@@ -999,5 +1230,6 @@ class CostModelService:
                 latency_s=latency,
                 error=message,
                 error_code=code,
+                trace_id=ctx.trace_id if ctx is not None else None,
             )
         )

@@ -40,6 +40,13 @@ the parent ships a new version. Workers communicate over a
 * ``("stats", )`` — evaluator cache counters + interning size.
 * ``("exit", )`` — clean shutdown.
 
+The three forward-executing ops (``tiles``, ``tile_batch``,
+``programs``) accept an optional trailing ``(trace_id, parent_span_id)``
+telemetry token; when present the reply carries a third element — a list
+of plain span dicts timing the forward inside this process — which the
+parent records into its tracer. Untraced messages and replies keep their
+exact pre-telemetry shapes.
+
 Replies are ``("ok", value)`` / ``("err", traceback_string)`` /
 ``("miss", fingerprint)``. Score arrays cross the pipe as pickled numpy
 arrays — dtype and bytes preserved exactly, which is what keeps
@@ -110,6 +117,27 @@ def shard_worker(
         """Rebuild TileConfigs from the raw dims tuples on the wire."""
         return [TileConfig(dims=tuple(d)) for d in dims_list]
 
+    def forward_span(trace, started, op):
+        """A plain span dict for one traced forward — the worker never
+        holds a tracer; the parent re-parents this into each sampled
+        request's trace via ``Tracer.record_raw``."""
+        return {
+            "trace_id": trace[0],
+            "parent_id": trace[1],
+            "name": "worker.forward",
+            "start": started,
+            "end": time.time(),
+            "process": f"worker-{shard_index}",
+            "attrs": {"pid": os.getpid(), "op": op},
+        }
+
+    def ok_reply(value, trace, started, op):
+        """``("ok", value)`` — plus the forward span for traced messages.
+        Untraced replies keep the exact pre-telemetry two-tuple shape."""
+        if trace is None:
+            return ("ok", value)
+        return ("ok", value, [forward_span(trace, started, op)])
+
     evaluator: LearnedEvaluator | None = None
     version: str | None = None
     evaluators: OrderedDict[str, LearnedEvaluator] = OrderedDict()
@@ -163,7 +191,10 @@ def shard_worker(
                 version = target
                 conn.send(("ok", version))
             elif op == "tiles":
-                _, fingerprint, kernel, dims_list = message
+                # A 5th element is the optional (trace_id, parent_span)
+                # token — absent on untraced messages (old shape).
+                _, fingerprint, kernel, dims_list = message[:4]
+                trace = message[4] if len(message) > 4 else None
                 kernel = intern(fingerprint, kernel)
                 if kernel is None:
                     conn.send(("miss", fingerprint))
@@ -173,12 +204,14 @@ def shard_worker(
                     continue
                 if injector is not None:
                     forward_fault()
+                started = time.time() if trace is not None else 0.0
                 scores = evaluator.score_tiles_batched(
                     kernel, tile_configs(dims_list)
                 )
-                conn.send(("ok", np.asarray(scores)))
+                conn.send(ok_reply(np.asarray(scores), trace, started, op))
             elif op == "tile_batch":
-                _, entries = message
+                _, entries = message[:2]
+                trace = message[2] if len(message) > 2 else None
                 resolved: list[tuple[object, list]] = []
                 missing: list[str] = []
                 for fingerprint, kernel, dims_list in entries:
@@ -195,10 +228,14 @@ def shard_worker(
                     continue
                 if injector is not None:
                     forward_fault()
+                started = time.time() if trace is not None else 0.0
                 arrays = evaluator.score_tile_groups(resolved)
-                conn.send(("ok", [np.asarray(a) for a in arrays]))
+                conn.send(ok_reply(
+                    [np.asarray(a) for a in arrays], trace, started, op
+                ))
             elif op == "programs":
-                _, entries = message
+                _, entries = message[:2]
+                trace = message[2] if len(message) > 2 else None
                 programs = []
                 missing: list[str] = []
                 for kernel_entries in entries:
@@ -218,8 +255,9 @@ def shard_worker(
                     continue
                 if injector is not None:
                     forward_fault()
+                started = time.time() if trace is not None else 0.0
                 runtimes = evaluator.program_runtimes_batched(programs)
-                conn.send(("ok", np.asarray(runtimes)))
+                conn.send(ok_reply(np.asarray(runtimes), trace, started, op))
             elif op == "stats":
                 payload = dict(evaluator.stats()) if evaluator is not None else {}
                 payload["interned_kernels"] = len(interned)

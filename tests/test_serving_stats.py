@@ -104,6 +104,87 @@ class TestEmptyWindows:
         assert set(stats.version_snapshot()) == {"v1"}
 
 
+class TestPercentileProperties:
+    """Property-style sweeps over :func:`latency_percentiles`.
+
+    Nearest-rank percentiles promise that every reported tail is a
+    latency some request actually paid — these pin that contract at the
+    corners where interpolating implementations invent points: single
+    samples, all-equal windows, and p99 at small n.
+    """
+
+    def test_single_sample_reports_itself_everywhere(self):
+        for value in (0.0, 1e-9, 0.25, 3.0):
+            summary = latency_percentiles([value])
+            assert summary.count == 1
+            assert (
+                summary.mean, summary.p50, summary.p90, summary.p99, summary.max
+            ) == (value, value, value, value, value)
+
+    def test_all_equal_window_collapses_to_that_value(self):
+        for n in (2, 3, 7, 100):
+            summary = latency_percentiles([0.125] * n)
+            assert summary.count == n
+            assert (
+                summary.mean, summary.p50, summary.p90, summary.p99, summary.max
+            ) == (0.125, 0.125, 0.125, 0.125, 0.125)
+
+    def test_p99_at_small_n_is_the_max(self):
+        # ceil(0.99 * n) == n for every n < 100: with fewer than 100
+        # samples there is no observation strictly inside the top 1%,
+        # so nearest-rank p99 must be the maximum, never beyond it.
+        rng = __import__("random").Random(7)
+        for n in range(1, 100):
+            samples = [rng.uniform(0.0, 1.0) for _ in range(n)]
+            summary = latency_percentiles(samples)
+            assert summary.p99 == summary.max == max(samples)
+
+    def test_percentiles_are_observed_samples_and_ordered(self):
+        rng = __import__("random").Random(11)
+        for trial in range(50):
+            n = rng.randrange(1, 400)
+            samples = [rng.expovariate(20.0) for _ in range(n)]
+            summary = latency_percentiles(samples)
+            observed = set(samples)
+            assert {summary.p50, summary.p90, summary.p99, summary.max} <= observed
+            assert summary.p50 <= summary.p90 <= summary.p99 <= summary.max
+            assert min(samples) <= summary.mean <= summary.max
+
+    def test_order_of_samples_is_irrelevant(self):
+        samples = [0.5, 0.1, 0.9, 0.3, 0.7]
+        forward = latency_percentiles(samples)
+        backward = latency_percentiles(list(reversed(samples)))
+        assert forward == backward
+
+    def test_nearest_rank_exact_small_cases(self):
+        # n=2: p50 takes rank ceil(0.5*2)=1 -> the smaller sample.
+        two = latency_percentiles([0.1, 0.2])
+        assert two.p50 == 0.1 and two.p90 == 0.2 and two.p99 == 0.2
+        # n=10: p90 takes rank ceil(0.9*10)=9 -> ninth smallest.
+        ten = latency_percentiles([x / 10.0 for x in range(1, 11)])
+        assert ten.p50 == 0.5 and ten.p90 == 0.9 and ten.p99 == 1.0
+        # n=100: rank ceil(0.99*100)=99 -> second largest appears at p99.
+        hundred = latency_percentiles([float(x) for x in range(1, 101)])
+        assert hundred.p99 == 99.0 and hundred.max == 100.0
+
+
+class TestSloWindow:
+    def test_empty_window_reports_zero_violations(self):
+        window = ServingStats().slo_window(0.25)
+        assert window["violation_fraction"] == 0.0
+        assert window["latency_ewma_s"] == 0.0
+        assert window["window"] == 0
+
+    def test_violation_fraction_counts_over_target(self):
+        stats = ServingStats()
+        for latency in (0.1, 0.1, 0.4, 0.6):
+            stats.record_response(latency, cache_hit=False)
+        window = stats.slo_window(0.25)
+        assert window["window"] == 4
+        assert window["violation_fraction"] == pytest.approx(0.5)
+        assert 0.0 < window["latency_ewma_s"] < 0.6
+
+
 class TestRespawnBreakdown:
     def test_per_shard_breakdown_survives_worker_respawn(self, corpus, result_a):
         """SIGKILL a shard worker mid-life: the service's per-shard entry

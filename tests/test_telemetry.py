@@ -1,0 +1,632 @@
+"""Tracing + telemetry registry + HTTP ops gateway.
+
+The observability layer's contracts, each pinned where it can actually
+break: trace contexts must round-trip the wire without confusing old
+peers, worker spans must assemble across the process boundary into one
+tree, the trace ring buffer must stay bounded, sampling must be a pure
+function of the trace id, the registry must stay consistent under
+concurrent writers, the Prometheus exposition must be well-formed, and
+the gateway must answer over a real socket.
+"""
+import json
+import os
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.compiler import enumerate_tile_sizes
+from repro.data import Scalers, build_tile_dataset
+from repro.models import LearnedPerformanceModel, ModelConfig
+from repro.models.trainer import TrainResult
+from repro.serving import (
+    CostModelService,
+    MetricsGateway,
+    ServiceConfig,
+    ServiceEvaluator,
+    TelemetryRegistry,
+    TraceContext,
+    Tracer,
+    decode_request,
+    encode_request,
+    slo_burn_rate,
+    trace_unit_hash,
+)
+from repro.serving.http_gateway import PROMETHEUS_CONTENT_TYPE
+from repro.serving.protocol import TileScoresRequest
+from repro.workloads import vision
+
+SMALL = dict(hidden_dim=16, opcode_embedding_dim=8, gnn_layers=2, lstm_hidden=16)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    ds = build_tile_dataset(
+        [vision.image_embed(0)], max_kernels_per_program=4, max_tiles_per_kernel=6, seed=0
+    )
+    scalers = Scalers.fit_tile(ds.records)
+    return ds.records, scalers
+
+
+@pytest.fixture(scope="module")
+def result_a(corpus):
+    _, scalers = corpus
+    cfg = ModelConfig(task="tile", reduction="column-wise", **SMALL)
+    model = LearnedPerformanceModel(cfg, seed=0)
+    model.eval()
+    return TrainResult(model=model, scalers=scalers, loss_history=[])
+
+
+def _tile_request(record, trace=None):
+    tiles = enumerate_tile_sizes(record.kernel)[:4]
+    return TileScoresRequest(kernel=record.kernel, tiles=tiles, trace=trace)
+
+
+# ---------------------------------------------------------------------- #
+# wire round-trip + backwards compatibility
+# ---------------------------------------------------------------------- #
+
+
+class TestWireRoundTrip:
+    def test_context_round_trips_through_wire_dict(self):
+        ctx = TraceContext(trace_id="t-abc-1", span_id="s-abc-2")
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+
+    def test_malformed_wire_entries_decode_to_none(self):
+        for entry in (None, 42, "t-1", [], {}, {"trace_id": "t"}, {"span_id": "s"},
+                      {"trace_id": 1, "span_id": "s"}):
+            assert TraceContext.from_wire(entry) is None
+
+    def test_untraced_request_bytes_carry_no_trace_key(self, corpus):
+        """New-writer/old-reader compatibility: a request without a trace
+        serializes byte-identically to the pre-telemetry format — no
+        ``trace`` key for an old peer to choke on (or even see)."""
+        records, _ = corpus
+        request = _tile_request(records[0])
+        payload = json.loads(request.to_bytes().split(b"\n", 1)[0])
+        assert "trace" not in payload
+
+    def test_traced_request_round_trips_through_codec(self, corpus):
+        records, _ = corpus
+        ctx = TraceContext(trace_id="t-deadbeef-1", span_id="s-deadbeef-2")
+        request = _tile_request(records[0], trace=ctx)
+        decoded = decode_request(encode_request(request))
+        assert decoded.trace == ctx
+        assert decoded.cache_key() == request.cache_key()
+
+    def test_old_reader_payload_without_trace_decodes(self, corpus):
+        """Old-writer/new-reader compatibility: bytes from a peer that
+        has never heard of tracing decode with ``trace=None``."""
+        records, _ = corpus
+        frame = encode_request(_tile_request(records[0]))
+        payload = json.loads(
+            _tile_request(records[0]).to_bytes().split(b"\n", 1)[0]
+        )
+        assert "trace" not in payload  # genuinely old-format bytes
+        decoded = decode_request(frame)
+        assert decoded.trace is None
+
+    def test_trace_never_contaminates_the_cache_key(self, corpus):
+        records, _ = corpus
+        bare = _tile_request(records[0])
+        traced = _tile_request(
+            records[0], trace=TraceContext(trace_id="t-1", span_id="s-1")
+        )
+        assert bare.cache_key() == traced.cache_key()
+
+
+# ---------------------------------------------------------------------- #
+# sampling
+# ---------------------------------------------------------------------- #
+
+
+class TestSampling:
+    def test_unit_hash_is_deterministic_and_in_range(self):
+        for i in range(100):
+            value = trace_unit_hash(f"t-{i}")
+            assert 0.0 <= value < 1.0
+            assert value == trace_unit_hash(f"t-{i}")
+
+    def test_salt_changes_the_subset(self):
+        ids = [f"t-{i}" for i in range(256)]
+        plain = {i for i in ids if trace_unit_hash(i) < 0.5}
+        salted = {i for i in ids if trace_unit_hash(i, salt="x") < 0.5}
+        assert plain != salted
+
+    def test_verdict_is_identical_across_tracer_instances(self):
+        a = Tracer(sample_rate=0.3)
+        b = Tracer(sample_rate=0.3)
+        for i in range(200):
+            assert a.should_sample(f"t-{i}") == b.should_sample(f"t-{i}")
+
+    def test_rate_extremes(self):
+        assert all(Tracer(sample_rate=1.0).should_sample(f"t-{i}") for i in range(20))
+        assert not any(Tracer(sample_rate=0.0).should_sample(f"t-{i}") for i in range(20))
+
+    def test_sampled_fraction_tracks_the_rate(self):
+        tracer = Tracer(sample_rate=0.25)
+        hits = sum(tracer.should_sample(f"t-{i}") for i in range(4000))
+        assert 0.20 < hits / 4000 < 0.30
+
+    def test_sampled_out_ingress_records_nothing(self):
+        tracer = Tracer(sample_rate=0.0)
+        request = type("R", (), {"trace": None})()
+        assert tracer.ingress(request) is None
+        assert tracer.unsampled == 1
+        assert tracer.snapshot()["spans_recorded"] == 0.0
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            Tracer(max_traces=0)
+
+
+# ---------------------------------------------------------------------- #
+# span recording + tree assembly
+# ---------------------------------------------------------------------- #
+
+
+class TestTraceAssembly:
+    def test_tree_nests_children_under_parents(self):
+        tracer = Tracer()
+        ctx = tracer.ingress(type("R", (), {"trace": None})())
+        with tracer.span(ctx, "outer") as outer:
+            tracer.event(outer, "marker", attrs={"k": "v"})
+        tracer.finish(ctx)
+        tree = tracer.trace(ctx.trace_id)
+        assert tree["span_count"] == 3
+        root = tree["roots"][0]
+        assert root["name"] == "request"
+        assert root["end"] is not None
+        outer_node = root["children"][0]
+        assert outer_node["name"] == "outer"
+        assert outer_node["children"][0]["name"] == "marker"
+        assert outer_node["children"][0]["status"] == "event"
+
+    def test_remote_parent_adopted_at_ingress(self):
+        """A request that arrives already carrying a context keeps its
+        trace id, and the server root hangs under the remote span."""
+        tracer = Tracer()
+        remote = TraceContext(trace_id="t-client-1", span_id="s-client-1")
+        ctx = tracer.ingress(type("R", (), {"trace": remote})())
+        assert ctx.trace_id == "t-client-1"
+        tree = tracer.trace("t-client-1")
+        # The remote parent span lives in another process; the local
+        # span still renders, as a root.
+        assert tree["roots"][0]["parent_id"] == "s-client-1"
+
+    def test_raw_spans_from_another_process_join_the_tree(self):
+        tracer = Tracer()
+        ctx = tracer.ingress(type("R", (), {"trace": None})())
+        tracer.record_raw(
+            {
+                "trace_id": ctx.trace_id,
+                "parent_id": ctx.span_id,
+                "name": "worker.forward",
+                "start": 1.0,
+                "end": 2.0,
+                "process": "worker-3",
+                "attrs": {"pid": 12345},
+            }
+        )
+        tree = tracer.trace(ctx.trace_id)
+        worker = tree["roots"][0]["children"][0]
+        assert worker["name"] == "worker.forward"
+        assert worker["process"] == "worker-3"
+        assert worker["attrs"]["pid"] == 12345
+
+    def test_record_raw_without_trace_id_is_a_noop(self):
+        tracer = Tracer()
+        tracer.record_raw({"name": "orphan"})
+        assert tracer.snapshot()["spans_recorded"] == 0.0
+
+    def test_span_context_manager_marks_errors(self):
+        tracer = Tracer()
+        ctx = tracer.ingress(type("R", (), {"trace": None})())
+        with pytest.raises(RuntimeError):
+            with tracer.span(ctx, "doomed"):
+                raise RuntimeError("boom")
+        tree = tracer.trace(ctx.trace_id)
+        assert tree["roots"][0]["children"][0]["status"] == "error"
+
+    def test_render_is_ascii_and_mentions_every_span(self):
+        tracer = Tracer()
+        ctx = tracer.ingress(type("R", (), {"trace": None})())
+        with tracer.span(ctx, "stage"):
+            pass
+        tracer.finish(ctx)
+        text = tracer.render(ctx.trace_id)
+        assert "request" in text and "stage" in text
+        assert "└──" in text
+        assert tracer.render("t-missing").endswith("not retained")
+
+    def test_ring_buffer_bounds_and_eviction_accounting(self):
+        tracer = Tracer(max_traces=4)
+        ids = []
+        for _ in range(10):
+            ctx = tracer.ingress(type("R", (), {"trace": None})())
+            tracer.finish(ctx)
+            ids.append(ctx.trace_id)
+        snap = tracer.snapshot()
+        assert snap["traces_retained"] == 4.0
+        assert snap["traces_started"] == 10.0
+        assert snap["traces_evicted"] == 6.0
+        # The newest four survive, oldest first in the buffer.
+        assert [t["trace_id"] for t in tracer.recent(10)] == ids[-1:-5:-1]
+        assert tracer.trace(ids[0]) is None
+
+
+# ---------------------------------------------------------------------- #
+# registry
+# ---------------------------------------------------------------------- #
+
+
+class TestRegistry:
+    def test_instruments_are_deduplicated_by_name(self):
+        registry = TelemetryRegistry()
+        assert registry.counter("hits") is registry.counter("hits")
+        with pytest.raises(ValueError):
+            registry.gauge("hits")
+
+    def test_counters_refuse_to_go_down(self):
+        with pytest.raises(ValueError):
+            TelemetryRegistry().counter("c").inc(-1)
+
+    def test_collectors_merge_in_registration_order(self):
+        registry = TelemetryRegistry()
+        registry.register_collector("a", lambda: {"x": 1.0, "shared": "a"})
+        registry.register_collector("b", lambda: {"y": 2.0, "shared": "b"})
+        snap = registry.collect()
+        assert snap["x"] == 1.0 and snap["y"] == 2.0
+        assert snap["shared"] == "b"  # later registration wins
+
+    def test_failing_collector_is_skipped_and_counted(self):
+        registry = TelemetryRegistry()
+        registry.register_collector("ok", lambda: {"fine": 1.0})
+        registry.register_collector("bad", lambda: 1 / 0)
+        snap = registry.collect()
+        assert snap["fine"] == 1.0
+        assert snap["telemetry_collector_errors"] == 1.0
+
+    def test_snapshot_consistent_under_concurrent_writers(self):
+        """Writers hammer instruments and a collector-backed component
+        while readers collect: no reader may raise, per-snapshot
+        monotonicity holds for counters, and the final totals are
+        exact."""
+        registry = TelemetryRegistry()
+        counter = registry.counter("writes")
+        histogram = registry.histogram("lat", buckets=(0.5, 1.0))
+        component = {"value": 0}
+        component_lock = threading.Lock()
+
+        def component_snapshot():
+            with component_lock:
+                return {"component_value": float(component["value"])}
+
+        registry.register_collector("component", component_snapshot)
+        writers, per_writer = 4, 500
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def read():
+            try:
+                last = 0.0
+                while not stop.is_set():
+                    snap = registry.collect()
+                    assert last <= snap["writes"] <= writers * per_writer
+                    last = snap["writes"]
+                    hist = snap["lat"]
+                    assert hist["buckets"]["0.5"] <= hist["buckets"]["1.0"] <= hist["count"]
+            except BaseException as exc:
+                errors.append(exc)
+
+        def write():
+            for i in range(per_writer):
+                counter.inc()
+                histogram.observe(0.25 if i % 2 else 0.75)
+                with component_lock:
+                    component["value"] += 1
+
+        readers = [threading.Thread(target=read) for _ in range(2)]
+        for t in readers:
+            t.start()
+        writer_threads = [threading.Thread(target=write) for _ in range(writers)]
+        for t in writer_threads:
+            t.start()
+        for t in writer_threads:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert not errors
+        snap = registry.collect()
+        assert snap["writes"] == float(writers * per_writer)
+        assert snap["component_value"] == float(writers * per_writer)
+        assert snap["lat"]["count"] == float(writers * per_writer)
+
+    def test_slo_burn_rate(self):
+        assert slo_burn_rate(0.01, 0.99) == pytest.approx(1.0)
+        assert slo_burn_rate(0.05, 0.99) == pytest.approx(5.0)
+        assert slo_burn_rate(0.0, 1.0) == 0.0
+        assert slo_burn_rate(0.001, 1.0) == 1e9
+
+
+class TestPrometheusExposition:
+    def test_counters_get_total_suffix_and_type_lines(self):
+        registry = TelemetryRegistry()
+        registry.counter("requests").inc(3)
+        registry.gauge("depth").set(2.5)
+        text = registry.prometheus()
+        assert "# TYPE repro_requests_total counter" in text
+        assert "repro_requests_total 3" in text
+        assert "# TYPE repro_depth gauge" in text
+        assert "repro_depth 2.5" in text
+        assert text.endswith("\n")
+
+    def test_labeled_families_become_labeled_series(self):
+        registry = TelemetryRegistry()
+        registry.register_collector(
+            "stats",
+            lambda: {
+                "per_shard": {"0": {"requests": 5.0}, "1": {"requests": 7.0}},
+                "per_version": {"v1": {"served": 2.0}},
+            },
+        )
+        text = registry.prometheus()
+        assert 'repro_per_shard_requests{shard="0"} 5' in text
+        assert 'repro_per_shard_requests{shard="1"} 7' in text
+        assert 'repro_per_version_served{version="v1"} 2' in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        registry = TelemetryRegistry()
+        histogram = registry.histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        text = registry.prometheus()
+        assert 'repro_lat_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_bucket{le="1.0"} 3' in text
+        assert 'repro_lat_bucket{le="+Inf"} 4' in text
+        assert "repro_lat_count 4" in text
+        assert "repro_lat_sum 6.05" in text
+
+    def test_strings_land_in_the_info_series_and_lists_are_skipped(self):
+        registry = TelemetryRegistry()
+        registry.register_collector(
+            "meta",
+            lambda: {
+                "active_version": 'v"1\\x',
+                "transitions": [{"noise": 1}],
+            },
+        )
+        text = registry.prometheus()
+        assert 'active_version="v\\"1\\\\x"' in text
+        assert "repro_info" in text
+        assert "transitions" not in text
+
+    def test_exposition_parses_line_by_line(self):
+        """Every non-comment line must be `name{labels} value` with a
+        float-parsable value — the format Prometheus actually scrapes."""
+        registry = TelemetryRegistry()
+        registry.counter("a").inc()
+        registry.histogram("b").observe(0.2)
+        registry.register_collector(
+            "s", lambda: {"per_shard": {"0": {"x": 1.0}}, "note": "hello world"}
+        )
+        for line in registry.prometheus().strip().splitlines():
+            if line.startswith("#"):
+                assert line.startswith("# TYPE ")
+                continue
+            name_part, _, value_part = line.rpartition(" ")
+            assert name_part and not name_part.endswith(" ")
+            float(value_part)  # must parse
+
+
+# ---------------------------------------------------------------------- #
+# end-to-end: spans across the process boundary
+# ---------------------------------------------------------------------- #
+
+
+class TestServiceTracing:
+    def test_trace_spans_all_four_layers_including_worker_subprocess(
+        self, corpus, result_a
+    ):
+        """One sampled request through the process executor must leave a
+        tree with frontend, scheduler, executor, and worker spans — the
+        worker span recorded in a different pid than the service."""
+        records, _ = corpus
+        tracer = Tracer(sample_rate=1.0)
+        service = CostModelService(
+            result_a,
+            ServiceConfig(executor="process", replicas=2, result_cache_entries=0),
+            tracer=tracer,
+        ).start()
+        try:
+            client = ServiceEvaluator(service, timeout_s=120.0)
+            record = records[0]
+            client.score_tiles_batched(
+                record.kernel, enumerate_tile_sizes(record.kernel)[:4]
+            )
+            traces = tracer.recent(5)
+            assert traces, "sampled request left no trace"
+            tree = tracer.trace(traces[0]["trace_id"])
+            spans = []
+
+            def flatten(node):
+                spans.append(node)
+                for kid in node["children"]:
+                    flatten(kid)
+
+            for root in tree["roots"]:
+                flatten(root)
+            by_process = {s["process"] for s in spans}
+            assert "frontend" in by_process
+            assert "scheduler" in by_process
+            assert "executor" in by_process
+            worker_spans = [
+                s for s in spans if s["process"].startswith("worker-")
+            ]
+            assert worker_spans, f"no worker span in {sorted(by_process)}"
+            assert worker_spans[0]["attrs"]["pid"] != os.getpid()
+            names = {s["name"] for s in spans}
+            assert {"request", "queue.wait", "executor.dispatch",
+                    "worker.forward"} <= names
+            # The worker span hangs under the executor dispatch span.
+            dispatch_ids = {
+                s["span_id"] for s in spans if s["name"] == "executor.dispatch"
+            }
+            assert worker_spans[0]["parent_id"] in dispatch_ids
+        finally:
+            service.stop()
+
+    def test_disabled_tracer_attaches_nothing(self, corpus, result_a):
+        records, _ = corpus
+        service = CostModelService(
+            result_a, ServiceConfig(replicas=1, result_cache_entries=0)
+        ).start()
+        try:
+            client = ServiceEvaluator(service)
+            record = records[0]
+            client.score_tiles_batched(
+                record.kernel, enumerate_tile_sizes(record.kernel)[:4]
+            )
+            assert service.tracer is None
+            assert "trace_sample_rate" not in service.metrics()
+        finally:
+            service.stop()
+
+    def test_response_carries_the_trace_id(self, corpus, result_a):
+        records, _ = corpus
+        tracer = Tracer(sample_rate=1.0)
+        service = CostModelService(
+            result_a,
+            ServiceConfig(replicas=1, result_cache_entries=4),
+            tracer=tracer,
+        ).start()
+        try:
+            record = records[0]
+            request = _tile_request(record)
+            response = service.submit(request).result(timeout=120.0)
+            assert response.trace_id
+            assert tracer.trace(response.trace_id) is not None
+            # Second submission hits the result cache — still traced.
+            cached = service.submit(_tile_request(record)).result(timeout=120.0)
+            assert cached.trace_id and cached.trace_id != response.trace_id
+            tree = tracer.trace(cached.trace_id)
+            names = {r["name"] for r in tree["roots"]} | {
+                k["name"] for r in tree["roots"] for k in r["children"]
+            }
+            assert "cache.hit" in names
+        finally:
+            service.stop()
+
+
+# ---------------------------------------------------------------------- #
+# HTTP gateway over a real socket
+# ---------------------------------------------------------------------- #
+
+
+def _get(address, path):
+    host, port = address
+    with urllib.request.urlopen(f"http://{host}:{port}{path}", timeout=10) as resp:
+        return resp.status, resp.headers.get("Content-Type", ""), resp.read()
+
+
+class TestGateway:
+    def test_endpoints_over_a_real_socket(self, corpus, result_a):
+        records, _ = corpus
+        tracer = Tracer(sample_rate=1.0)
+        service = CostModelService(
+            result_a,
+            ServiceConfig(replicas=1, result_cache_entries=0),
+            tracer=tracer,
+        ).start()
+        try:
+            with MetricsGateway(service) as gateway:
+                client = ServiceEvaluator(service, timeout_s=120.0)
+                record = records[0]
+                client.score_tiles_batched(
+                    record.kernel, enumerate_tile_sizes(record.kernel)[:4]
+                )
+
+                status, ctype, body = _get(gateway.address, "/healthz")
+                health = json.loads(body)
+                assert status == 200 and ctype.startswith("application/json")
+                assert health["status"] == "ok" and health["tracing"] is True
+
+                status, ctype, body = _get(gateway.address, "/metrics")
+                assert status == 200 and ctype == PROMETHEUS_CONTENT_TYPE
+                text = body.decode()
+                assert "repro_requests_total" in text
+                assert "repro_slo_burn_rate" in text
+
+                status, _, body = _get(gateway.address, "/metrics?format=json")
+                snap = json.loads(body)
+                assert snap["requests"] >= 1.0
+
+                status, _, body = _get(gateway.address, "/traces/recent?n=5")
+                recent = json.loads(body)["traces"]
+                assert recent and recent[0]["span_count"] >= 1
+
+                trace_id = recent[0]["trace_id"]
+                status, _, body = _get(gateway.address, f"/traces/{trace_id}")
+                tree = json.loads(body)
+                assert status == 200 and tree["trace_id"] == trace_id
+
+                status, ctype, body = _get(
+                    gateway.address, f"/traces/{trace_id}?format=text"
+                )
+                assert status == 200 and b"request" in body
+
+                # The gateway's own instruments land in the registry.
+                status, _, body = _get(gateway.address, "/metrics?format=json")
+                assert json.loads(body)["gateway_requests"] >= 6.0
+        finally:
+            service.stop()
+
+    def test_error_statuses(self, corpus, result_a):
+        service = CostModelService(
+            result_a, ServiceConfig(replicas=1, result_cache_entries=0)
+        ).start()
+        try:
+            with MetricsGateway(service) as gateway:
+                with pytest.raises(urllib.error.HTTPError) as exc:
+                    _get(gateway.address, "/nope")
+                assert exc.value.code == 404
+                # No tracer attached: trace endpoints are 503.
+                with pytest.raises(urllib.error.HTTPError) as exc:
+                    _get(gateway.address, "/traces/recent")
+                assert exc.value.code == 503
+                errors = json.loads(service.telemetry.json())["gateway_errors"]
+                assert errors >= 2.0
+        finally:
+            service.stop()
+
+    def test_unknown_trace_is_404_with_tracer(self, corpus, result_a):
+        service = CostModelService(
+            result_a,
+            ServiceConfig(replicas=1, result_cache_entries=0),
+            tracer=Tracer(sample_rate=1.0),
+        ).start()
+        try:
+            with MetricsGateway(service) as gateway:
+                with pytest.raises(urllib.error.HTTPError) as exc:
+                    _get(gateway.address, "/traces/t-missing")
+                assert exc.value.code == 404
+                with pytest.raises(urllib.error.HTTPError) as exc:
+                    _get(gateway.address, "/traces/recent?n=zebra")
+                assert exc.value.code == 400
+        finally:
+            service.stop()
+
+    def test_close_is_idempotent_and_port_is_ephemeral(self, corpus, result_a):
+        service = CostModelService(
+            result_a, ServiceConfig(replicas=1, result_cache_entries=0)
+        )
+        gateway = MetricsGateway(service)
+        assert gateway.address[1] > 0
+        gateway.close()
+        gateway.close()
+        with pytest.raises((ConnectionError, urllib.error.URLError, OSError)):
+            _get(gateway.address, "/healthz")
