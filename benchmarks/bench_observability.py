@@ -20,12 +20,27 @@ all against process-sharded services:
 * **sampled** — a 1% deterministic-sampling tracer attached: >= 0.9x
   baseline (the hook sites are single ``is not None`` checks for the
   99%, ring-buffer appends for the 1%);
+* **profiled** — a full-sampling :class:`ContinuousProfiler` attached:
+  >= 0.95x baseline (the record path is a handful of dict updates under
+  one lock — continuous profiling must be cheap enough to leave on);
 * **traced probe** — a 100%-sampling tracer, one scoring request: the
   retained trace tree must contain spans from all four layers
   (frontend ingress, scheduler queue-wait, executor dispatch, worker
   forward) with the worker span recorded under a different pid, and the
   traced stack's score arrays must be **bitwise identical** to the
-  baseline reference — observation must never perturb the answer.
+  baseline reference — observation must never perturb the answer. The
+  profiled stack's score arrays are held to the same bitwise bar.
+
+On top of the throughput modes sits the **alert-fire scenario**: a
+process-sharded service with a 100% tracer, an :class:`OpsJournal`
+(written under ``bench-artifacts/`` so CI uploads it), and an
+:class:`AlertEngine` watching the SLO burn-rate gauge. A
+:class:`FaultInjector` slow-worker rule pushes every forward past the
+latency target until the burn-rate alert walks pending → firing; the
+injector is then disarmed and healthy traffic walks it to resolved. The
+gates check the *full journaled state sequence* and that the firing
+transition carries an exemplar ``trace_id`` resolvable against the
+tracer's retained ring — alerts must point at evidence, not just page.
 
 The box this runs on is noisy: back-to-back passes of the *same*
 untouched service can spread >10% rps. Sequential phases would fold that
@@ -61,8 +76,15 @@ from repro.data import Scalers, build_tile_dataset  # noqa: E402
 from repro.models import LearnedPerformanceModel, ModelConfig  # noqa: E402
 from repro.models.trainer import TrainResult  # noqa: E402
 from repro.serving import (  # noqa: E402
+    AlertEngine,
+    BurnRateRule,
+    ContinuousProfiler,
     CostModelService,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
     MetricsGateway,
+    OpsJournal,
     ServiceConfig,
     ServiceEvaluator,
     Tracer,
@@ -281,6 +303,154 @@ def _trace_probe(result, stream) -> dict:
         service.stop()
 
 
+#: Where the alert scenario's ops journal lands. CI uploads this
+#: directory, so a failed gate ships its own post-mortem evidence.
+ARTIFACTS_DIR = os.environ.get("REPRO_BENCH_ARTIFACTS", "bench-artifacts")
+
+#: Slow-worker fault: every faulted forward sleeps this long — well
+#: past the scenario's 50 ms latency target, so every faulted request
+#: violates (healthy single-client latency on this box is ~3 ms).
+FAULT_DELAY_S = 0.12
+
+#: Per-worker fault schedule. ``arm()`` does not cross the process
+#: boundary — worker subprocesses run their own injector copy — so the
+#: outage is scheduled into the rule itself: each worker serves
+#: ``FAULT_AFTER`` forwards healthy, injects ``FAULT_COUNT`` slow ones,
+#: then exhausts back to healthy. Warmup stays under FAULT_AFTER even
+#: if one shard absorbs every warmup request.
+FAULT_AFTER = 25
+FAULT_COUNT = 25
+
+#: Scenario SLO: 90% of requests under 50 ms. Budget 0.1, burn-rate
+#: threshold 2.0 → the alert breaches once >20% of the windowed
+#: requests violate, and clears once healthy traffic dilutes the window
+#: back under 20% — reachable with a few hundred post-outage requests,
+#: without waiting out the 8192-sample latency ring.
+SCENARIO_SLO = dict(slo_target_latency_s=0.05, slo_objective=0.9)
+BURN_THRESHOLD = 2.0
+PHASE_TIMEOUT_S = 90.0
+
+
+def _alert_scenario(result, stream) -> dict:
+    """Drive a burn-rate alert pending → firing → resolved with real
+    faults, and journal every transition with trace correlation."""
+    journal_dir = os.path.join(ARTIFACTS_DIR, "observability-journal")
+    os.makedirs(journal_dir, exist_ok=True)
+    for name in os.listdir(journal_dir):  # stale generations from prior runs
+        os.remove(os.path.join(journal_dir, name))
+    journal_path = os.path.join(journal_dir, "ops.jsonl")
+
+    injector = FaultInjector(
+        FaultPlan(
+            rules=(
+                FaultRule(
+                    hook="worker.forward",
+                    kind="delay",
+                    delay_s=FAULT_DELAY_S,
+                    after=FAULT_AFTER,
+                    count=FAULT_COUNT,
+                ),
+            ),
+            seed=0,
+        ),
+    )
+    # A ring deep enough that the firing transition's exemplar trace
+    # survives the recovery flood for the correlation check at the end.
+    tracer = Tracer(sample_rate=1.0, max_traces=4096)
+    journal = OpsJournal(journal_path)
+    service = CostModelService(
+        result,
+        ServiceConfig(
+            executor="process", replicas=2, max_batch_size=64,
+            flush_interval_s=0.002, adaptive_flush=False,
+            result_cache_entries=0, dispatch_timeout_s=30.0,
+            **SCENARIO_SLO,
+        ),
+        tracer=tracer,
+        faults=injector,
+        journal=journal,
+    ).start()
+    engine = AlertEngine(
+        rules=[
+            BurnRateRule(
+                name="slo_burn",
+                threshold=BURN_THRESHOLD,
+                min_samples=16,
+                for_s=0.25,
+                severity="critical",
+            )
+        ]
+    )
+    service.attach_alerts(engine)
+    observed: list[str] = []
+
+    def evaluate() -> None:
+        for move in engine.evaluate():
+            observed.append(move["to"])
+
+    try:
+        client = ServiceEvaluator(service, timeout_s=TIMEOUT_S)
+
+        def pump(n: int) -> None:
+            for i in range(n):
+                kernel, tiles = stream[i % len(stream)]
+                client.score_tiles_batched(kernel, tiles)
+
+        # Phase 1 — healthy traffic populates the SLO window (every
+        # worker is still inside its FAULT_AFTER healthy prefix).
+        pump(16)
+        evaluate()
+        healthy_state = engine.state("slo_burn")
+
+        # Phase 2 — the scheduled outage: keep serving until the slow
+        # forwards push the burn rate over threshold and the alert
+        # holds pending for for_s, then fires.
+        deadline = time.perf_counter() + PHASE_TIMEOUT_S
+        while (
+            engine.state("slo_burn") != "firing"
+            and time.perf_counter() < deadline
+        ):
+            pump(2)
+            evaluate()
+
+        # Phase 3 — recovery: the fault budget exhausts and healthy
+        # traffic dilutes the window back under the burn threshold.
+        deadline = time.perf_counter() + PHASE_TIMEOUT_S
+        while (
+            engine.state("slo_burn") != "resolved"
+            and time.perf_counter() < deadline
+        ):
+            pump(16)
+            evaluate()
+
+        transitions = journal.timeline(("alert.",))
+        correlated = [
+            e["trace_id"]
+            for e in transitions
+            if e.get("trace_id") and tracer.trace(e["trace_id"]) is not None
+        ]
+        return {
+            "journal_path": journal_path,
+            "healthy_state": healthy_state,
+            "state_sequence": observed,
+            "final_state": engine.state("slo_burn"),
+            "transitions": [
+                {k: e.get(k) for k in ("seq", "from", "to", "value", "trace_id")}
+                for e in transitions
+            ],
+            "trace_correlated_transitions": len(correlated),
+            "journal": journal.snapshot(),
+            "slo_final": {
+                k: v
+                for k, v in service.telemetry.collect().items()
+                if k.startswith("slo_")
+            },
+        }
+    finally:
+        service.stop()
+        journal.close()
+
+
 def main() -> dict:
     result, dataset = _build_result()
     stream = _workload(dataset.records, REQUESTS_PER_CLIENT)
@@ -301,15 +471,19 @@ def main() -> dict:
     sampled_svc = CostModelService(
         result, _service_config(), tracer=tracer
     ).start()
+    profiler = ContinuousProfiler()
+    profiled_svc = CostModelService(
+        result, _service_config(), profiler=profiler
+    ).start()
     try:
-        for svc in (plain, sampled_svc):
+        for svc in (plain, sampled_svc, profiled_svc):
             warm = ServiceEvaluator(svc, timeout_s=TIMEOUT_S)
             for kernel, tiles in stream:
                 warm.score_tiles_batched(kernel, tiles)
         reference = _reference_scores(plain, stream)
 
         rates: dict[str, list[float]] = {
-            "baseline": [], "scraped": [], "sampled": [],
+            "baseline": [], "scraped": [], "sampled": [], "profiled": [],
         }
         scrapes = 0
         with MetricsGateway(plain) as gateway:
@@ -326,6 +500,7 @@ def main() -> dict:
                 ("baseline", lambda: _fleet_pass(plain, stream)),
                 ("scraped", scraped_pass),
                 ("sampled", lambda: _fleet_pass(sampled_svc, stream)),
+                ("profiled", lambda: _fleet_pass(profiled_svc, stream)),
             ]
             for round_idx in range(REPEATS):
                 # Rotate mode order each round so any positional effect
@@ -339,9 +514,20 @@ def main() -> dict:
         report["scraped"]["scrapes"] = scrapes
         report["sampled"] = _summary(rates["sampled"], stream)
         report["sampled"]["tracer"] = tracer.snapshot()
+        report["profiled"] = _summary(rates["profiled"], stream)
+        report["profiled"]["profiler"] = profiler.snapshot()
+        profiled_scores = _reference_scores(profiled_svc, stream)
+        report["profiled_bitwise_identical"] = bool(
+            len(reference) == len(profiled_scores)
+            and all(
+                np.array_equal(a, b)
+                for a, b in zip(reference, profiled_scores)
+            )
+        )
     finally:
         plain.stop()
         sampled_svc.stop()
+        profiled_svc.stop()
 
     # Fidelity: 100% sampling — trace tree + the bitwise probe.
     probe = _trace_probe(result, stream)
@@ -362,7 +548,21 @@ def main() -> dict:
         report["sampled"]["all_passes_rps"],
         report["baseline"]["all_passes_rps"],
     )
+    report["profiled_ratio"] = _median_paired_ratio(
+        report["profiled"]["all_passes_rps"],
+        report["baseline"]["all_passes_rps"],
+    )
+
+    # Alert fidelity: slow-worker faults must walk the burn-rate alert
+    # through its full state machine, durably journaled.
+    report["alert_scenario"] = _alert_scenario(result, stream)
     return report
+
+
+def _subsequence(needle: tuple, haystack: list) -> bool:
+    """True when ``needle``'s items appear in ``haystack`` in order."""
+    it = iter(haystack)
+    return all(any(item == want for item in it) for want in needle)
 
 
 def _gates(report: dict) -> list[str]:
@@ -378,6 +578,25 @@ def _gates(report: dict) -> list[str]:
         failures.append(
             f"1%-sampled throughput {report['sampled_ratio']:.3f}x baseline < 0.9x"
         )
+    if report["profiled_ratio"] < 0.95:
+        failures.append(
+            f"profiled throughput {report['profiled_ratio']:.3f}x baseline < 0.95x"
+        )
+    if not report["profiled_bitwise_identical"]:
+        failures.append("profiling perturbed the scores: not bitwise identical")
+    scenario = report["alert_scenario"]
+    sequence = scenario["state_sequence"]
+    if not _subsequence(("pending", "firing", "resolved"), sequence):
+        failures.append(
+            "burn-rate alert never walked pending -> firing -> resolved "
+            f"(observed {sequence})"
+        )
+    if scenario["trace_correlated_transitions"] < 1:
+        failures.append(
+            "no journaled alert transition carries a resolvable trace_id"
+        )
+    if scenario["journal"]["journal_events"] < 3:
+        failures.append("the ops journal recorded fewer than 3 events")
     probe = report["trace_probe"]
     for layer in ("frontend", "scheduler", "executor"):
         if not probe[f"has_{layer}"]:

@@ -50,7 +50,25 @@ lock-consistent snapshot with Prometheus text exposition and SLO
 burn-rate gauges, and the read-only :class:`MetricsGateway` serves
 ``/metrics``, ``/traces/<id>``, ``/traces/recent``, and ``/healthz``
 over HTTP.
+
+The *active* observability layer (:mod:`repro.serving.profiler` +
+:mod:`repro.serving.alerts` + :mod:`repro.serving.journal`) turns that
+visibility into action: a :class:`ContinuousProfiler` attributes
+wall-time per pipeline stage into exemplar-linked histograms (served at
+``/profile``), an :class:`AlertEngine` evaluates threshold / SLO
+burn-rate / anomaly rules against registry snapshots through a
+pending → firing → resolved state machine (``/alerts``), and an
+:class:`OpsJournal` durably records every lifecycle event — hot-swaps,
+rollout transitions, rebalances, respawns, breaker trips, degradations,
+alert transitions — as crash-safe append-only JSONL (``/events/recent``).
 """
+from .alerts import (
+    Alert,
+    AlertEngine,
+    AnomalyRule,
+    BurnRateRule,
+    ThresholdRule,
+)
 from .client import EvaluatorClient, ServiceEvaluator, SocketEvaluator
 from .faults import (
     FAULT_HOOKS,
@@ -79,6 +97,7 @@ from .executors import (
 )
 from .frontend import Frontend, InProcessFrontend, SocketFrontend
 from .http_gateway import PROMETHEUS_CONTENT_TYPE, MetricsGateway
+from .journal import OpsJournal
 from .placement import (
     DEFAULT_BUCKETS,
     BucketMove,
@@ -107,6 +126,7 @@ from .protocol import (
     recv_frame,
     send_frame,
 )
+from .profiler import ContinuousProfiler
 from .registry import ModelRegistry
 from .replica import ReplicaPool, ResultCache, shard_of
 from .resilience import (
@@ -175,12 +195,17 @@ __all__ = [
     "ROLLED_BACK",
     "ROLLOUT_STATES",
     "SHADOW",
+    "Alert",
+    "AlertEngine",
     "AnalyticalFallback",
+    "AnomalyRule",
     "BucketMove",
+    "BurnRateRule",
     "CanaryFraction",
     "CircuitBreaker",
     "CommandResult",
     "ConnectionLost",
+    "ContinuousProfiler",
     "CostModelService",
     "Counter",
     "CrashLoopBackoff",
@@ -202,6 +227,7 @@ __all__ = [
     "MetricsGateway",
     "MicroBatcher",
     "ModelRegistry",
+    "OpsJournal",
     "Overloaded",
     "PendingRequest",
     "PlacementConfig",
@@ -229,6 +255,7 @@ __all__ = [
     "SocketFrontend",
     "Span",
     "TelemetryRegistry",
+    "ThresholdRule",
     "TileCommand",
     "TileScoresRequest",
     "TraceContext",

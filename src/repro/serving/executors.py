@@ -492,6 +492,9 @@ class ProcessShardExecutor(Executor):
             if not worker_plan.rules:
                 worker_plan = None
         self._worker_plan = worker_plan
+        #: Duck-typed ops journal; worker respawns and crash-loop
+        #: suppressions are recorded when present (``None`` = free).
+        self.journal = None
         self._ctx = multiprocessing.get_context(start_method)
         self._shards = [_Shard(index=i) for i in range(self.num_shards)]
         # Serializes migrations (the shard list and map are only mutated
@@ -522,9 +525,21 @@ class ProcessShardExecutor(Executor):
             process.kill()
             process.join(timeout=5)
 
+    def _journal(self, kind: str, **fields) -> None:
+        """Record a worker lifecycle event; never allowed to fail a
+        dispatch (the journal only takes its own lock, so calling under
+        a shard lock cannot deadlock)."""
+        if self.journal is None:
+            return
+        try:
+            self.journal.record(kind, **fields)
+        except Exception:
+            pass
+
     def _spawn_locked(self, shard: _Shard) -> None:
         """(Re)start ``shard``'s worker; caller holds ``shard.lock``."""
-        if shard.process is not None:
+        respawn = shard.process is not None
+        if respawn:
             shard.restarts += 1
             try:
                 shard.conn.close()
@@ -551,6 +566,13 @@ class ProcessShardExecutor(Executor):
         shard.version = None
         shard.known.clear()
         shard.loaded.clear()
+        if respawn:
+            self._journal(
+                "worker.respawn",
+                shard=shard.index,
+                restarts=shard.restarts,
+                pid=process.pid,
+            )
 
     def _recv_locked(self, shard: _Shard):
         """Await one reply; raises on a dead or hung worker."""
@@ -596,6 +618,12 @@ class ProcessShardExecutor(Executor):
         if not alive:
             suppressed = shard.backoff.remaining()
             if suppressed > 0:
+                self._journal(
+                    "worker.respawn_suppressed",
+                    shard=shard.index,
+                    remaining_s=suppressed,
+                    failures=shard.backoff.failures,
+                )
                 raise WorkerDiedError(
                     f"shard {shard.index} respawn suppressed for "
                     f"{suppressed:.2f}s (crash-loop backoff after "

@@ -18,15 +18,27 @@ Endpoints:
 * ``GET /traces/recent`` — summaries of the newest retained traces
   (``?n=`` bounds the count, default 20).
 * ``GET /traces/<trace_id>`` — one assembled trace tree as JSON;
-  ``?format=text`` returns the ASCII rendering instead.
+  ``?format=text`` returns the ASCII rendering, ``?format=chrome`` the
+  Chrome trace-event document (load it straight into ``chrome://tracing``
+  or Perfetto).
+* ``GET /profile`` — the continuous profiler's report: per-stage
+  exemplar-linked histograms, flame-style call-path table, interval
+  snapshots; ``?format=text`` for the ASCII table, ``?format=folded``
+  for folded-stack lines (flamegraph tooling input).
+* ``GET /alerts`` — the alert engine's board (firing/pending counts +
+  per-rule state); ``?format=text`` for the ASCII board.
+* ``GET /events/recent`` — the newest ops-journal events (``?n=``
+  bounds the count, default 50).
 
 Trace endpoints answer ``503`` when the service has no tracer attached
 (tracing disabled is the zero-overhead default) and ``404`` for ids the
-ring buffer no longer retains.
+ring buffer no longer retains; ``/profile``, ``/alerts``, and
+``/events/recent`` answer ``503`` the same way when their component is
+not attached.
 
 The gateway itself is instrumented: its request counter, error counter,
-and latency histogram land in the same registry it serves, so a scrape
-shows the cost of scraping.
+latency histogram, and a per-endpoint access breakdown land in the same
+registry it serves, so a scrape shows the cost of scraping.
 """
 from __future__ import annotations
 
@@ -74,6 +86,13 @@ class MetricsGateway:
         self._latency = registry.histogram(
             "gateway_latency_s", help="gateway request handling latency"
         )
+        # Per-endpoint access counts, exposed as a labeled family
+        # (``gateway_accesses{endpoint="..."}``) so gateway load is
+        # attributable, not just a single total.
+        self._accesses: dict[str, int] = {}
+        self._access_lock = threading.Lock()
+        registry.register_collector("gateway_accesses", self._access_snapshot)
+        registry.mark_counter("gateway_accesses")
         gateway = self
 
         class _Handler(BaseHTTPRequestHandler):
@@ -118,10 +137,30 @@ class MetricsGateway:
             self._errors.inc()
         self._latency.observe(time.perf_counter() - started)
 
+    def _access_snapshot(self) -> dict:
+        with self._access_lock:
+            return {
+                "gateway_accesses": {
+                    endpoint: float(count)
+                    for endpoint, count in self._accesses.items()
+                }
+            }
+
+    #: Route families used as the access-counter label — a fixed
+    #: vocabulary, so label cardinality stays bounded no matter what
+    #: paths clients probe.
+    _ENDPOINTS = ("healthz", "metrics", "traces", "profile", "alerts", "events")
+
+    def _count_access(self, family: str) -> None:
+        with self._access_lock:
+            self._accesses[family] = self._accesses.get(family, 0) + 1
+
     def _route(self, handler: BaseHTTPRequestHandler) -> int:
         url = urlparse(handler.path)
         query = parse_qs(url.query)
         parts = [p for p in url.path.split("/") if p]
+        family = parts[0] if parts else ""
+        self._count_access(family if family in self._ENDPOINTS else "other")
         if url.path == "/healthz":
             return self._send(
                 handler,
@@ -159,7 +198,8 @@ class MetricsGateway:
                 return self._send(handler, 200, {"traces": tracer.recent(n)})
             if len(parts) == 2:
                 trace_id = parts[1]
-                if query.get("format", [""])[0] == "text":
+                fmt = query.get("format", [""])[0]
+                if fmt == "text":
                     rendered = tracer.render(trace_id)
                     status = 404 if rendered.endswith("not retained") else 200
                     return self._send_raw(
@@ -168,12 +208,68 @@ class MetricsGateway:
                         (rendered + "\n").encode(),
                         "text/plain; charset=utf-8",
                     )
+                if fmt == "chrome":
+                    document = tracer.chrome_trace(trace_id)
+                    if document is None:
+                        return self._send(
+                            handler,
+                            404,
+                            {"error": f"trace {trace_id} not retained"},
+                        )
+                    return self._send(handler, 200, document)
                 tree = tracer.trace(trace_id)
                 if tree is None:
                     return self._send(
                         handler, 404, {"error": f"trace {trace_id} not retained"}
                     )
                 return self._send(handler, 200, tree)
+        if url.path == "/profile":
+            profiler = getattr(self.service, "profiler", None)
+            if profiler is None:
+                return self._send(
+                    handler, 503, {"error": "profiling is not enabled"}
+                )
+            fmt = query.get("format", [""])[0]
+            if fmt == "text":
+                return self._send_raw(
+                    handler,
+                    200,
+                    (profiler.render() + "\n").encode(),
+                    "text/plain; charset=utf-8",
+                )
+            if fmt == "folded":
+                return self._send_raw(
+                    handler,
+                    200,
+                    (profiler.flame_folded() + "\n").encode(),
+                    "text/plain; charset=utf-8",
+                )
+            return self._send(handler, 200, profiler.profile())
+        if url.path == "/alerts":
+            alerts = getattr(self.service, "alerts", None)
+            if alerts is None:
+                return self._send(
+                    handler, 503, {"error": "alerting is not enabled"}
+                )
+            if query.get("format", [""])[0] == "text":
+                return self._send_raw(
+                    handler,
+                    200,
+                    (alerts.render() + "\n").encode(),
+                    "text/plain; charset=utf-8",
+                )
+            return self._send(handler, 200, alerts.alerts())
+        if url.path == "/events/recent":
+            journal = getattr(self.service, "journal", None)
+            if journal is None:
+                return self._send(
+                    handler, 503, {"error": "ops journal is not enabled"}
+                )
+            try:
+                n = int(query.get("n", ["50"])[0])
+            except ValueError:
+                return self._send(handler, 400, {"error": "bad n"})
+            return self._send(handler, 200, {"events": journal.recent(n)})
         return self._send(handler, 404, {"error": f"no route for {url.path}"})
 
     @staticmethod

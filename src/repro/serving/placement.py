@@ -290,9 +290,13 @@ class PlacementController:
         service,
         config: PlacementConfig | None = None,
         clock=time.monotonic,
+        journal=None,
     ) -> None:
         self.service = service
         self.config = config or PlacementConfig()
+        #: Duck-typed ops journal; every applied rebalance plan lands as
+        #: a ``placement.rebalance`` event when present.
+        self.journal = journal
         self._clock = clock
         self._lock = threading.Lock()
         # Serializes whole step() cycles: two concurrent steppers must
@@ -543,6 +547,17 @@ class PlacementController:
         if plan is None:
             return None
         summary = self.service.rebalance(plan)
+        if self.journal is not None:
+            try:
+                self.journal.record(
+                    "placement.rebalance",
+                    reason=plan.reason,
+                    moves=len(plan.moves),
+                    num_shards=plan.new_map.num_shards,
+                    map_version=plan.new_map.version,
+                )
+            except Exception:
+                pass
         with self._lock:
             self._last_rebalance_at = self._clock()
             self._skewed_streak = 0

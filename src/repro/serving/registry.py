@@ -87,6 +87,19 @@ class ModelRegistry:
         self._active: str | None = None
         self._staged: str | None = None
         self._counter = 0
+        #: Duck-typed ops journal (anything with ``record(kind, **f)``);
+        #: ``None`` by default — every hook below is one None-check.
+        self.journal = None
+
+    def _journal(self, kind: str, **fields) -> None:
+        """Record a lifecycle event; never under the registry lock, and
+        never allowed to fail a registry operation."""
+        if self.journal is None:
+            return
+        try:
+            self.journal.record(kind, **fields)
+        except Exception:
+            pass
 
     def publish(
         self,
@@ -150,6 +163,9 @@ class ModelRegistry:
                 self._staged = version
             self._prune_materialized_locked()
             self._prune_retention_locked()
+        self._journal(
+            "registry.publish", version=version, activated=activate, staged=stage
+        )
         return version
 
     def activate(self, version: str) -> None:
@@ -161,11 +177,19 @@ class ModelRegistry:
         with self._lock:
             if version not in self._blobs:
                 raise KeyError(f"unknown model version {version!r}")
+            previous = self._active
+            promoted = self._staged == version
             self._active = version
-            if self._staged == version:
+            if promoted:
                 self._staged = None
             self._prune_materialized_locked()
             self._prune_retention_locked()
+        self._journal(
+            "registry.activate",
+            version=version,
+            previous=previous,
+            promoted=promoted,
+        )
 
     # ------------------------------------------------------------------ #
     # staged-version lifecycle
@@ -199,16 +223,20 @@ class ModelRegistry:
                         "both active and staged"
                     )
                 self._staged = result
-                return result
+            self._journal("registry.stage", version=result)
+            return result
         return self.publish(result, version=version, activate=False, stage=True)
 
     def clear_staged(self) -> None:
         """Drop the staged marker (a rollback); the blob stays published
         until retention prunes it."""
         with self._lock:
+            cleared = self._staged
             self._staged = None
             self._prune_materialized_locked()
             self._prune_retention_locked()
+        if cleared is not None:
+            self._journal("registry.clear_staged", version=cleared)
 
     @property
     def staged_version(self) -> str | None:
@@ -335,10 +363,22 @@ class ModelRegistry:
             directory / _MANIFEST_NAME,
             json.dumps(manifest, indent=2).encode(),
         )
+        self._journal(
+            "registry.spill",
+            directory=str(directory),
+            versions=len(order),
+            active=active,
+            staged=staged,
+        )
         return directory
 
     @classmethod
-    def load(cls, directory: str | Path, retain: int | None = None) -> "ModelRegistry":
+    def load(
+        cls,
+        directory: str | Path,
+        retain: int | None = None,
+        journal=None,
+    ) -> "ModelRegistry":
         """Restore a registry spilled by :meth:`spill`, byte-identically.
 
         Every blob is integrity-checked on the way in (typed
@@ -372,4 +412,14 @@ class ModelRegistry:
             with registry._lock:
                 registry._retain = retain
                 registry._prune_retention_locked()
+        # Attach the journal only after the interior publish/activate
+        # replays — the restore is one event, not a re-run of history.
+        registry.journal = journal
+        registry._journal(
+            "registry.load",
+            directory=str(directory),
+            versions=len(registry.versions),
+            active=registry.active_version,
+            staged=registry.staged_version,
+        )
         return registry

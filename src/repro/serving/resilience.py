@@ -216,6 +216,10 @@ class CircuitBreaker:
         failure_threshold: consecutive failures that open the breaker.
         reset_s: open-state dwell before a half-open probe is allowed.
         clock: injectable time source (tests drive it manually).
+        on_transition: optional ``fn(from_state, to_state)`` invoked
+            *outside* the breaker lock on every state change (the ops
+            journal hook — a callback that takes its own locks must not
+            run under ours).
     """
 
     def __init__(
@@ -223,6 +227,7 @@ class CircuitBreaker:
         failure_threshold: int = 5,
         reset_s: float = 2.0,
         clock=time.monotonic,
+        on_transition=None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -230,6 +235,7 @@ class CircuitBreaker:
             raise ValueError("reset_s must be >= 0")
         self.failure_threshold = failure_threshold
         self.reset_s = reset_s
+        self.on_transition = on_transition
         self._clock = clock
         self._lock = threading.Lock()
         self._state = "closed"
@@ -253,6 +259,7 @@ class CircuitBreaker:
         until the probe reports back.
         """
         with self._lock:
+            before = self._state
             if self._state == "closed":
                 return True
             if self._state == "open":
@@ -263,25 +270,46 @@ class CircuitBreaker:
                 self._probing = False
             # half-open: admit a single probe.
             if self._probing:
-                return False
-            self._probing = True
-            self.probes += 1
-            return True
+                verdict = False
+            else:
+                self._probing = True
+                self.probes += 1
+                verdict = True
+            after = self._state
+        self._notify(before, after)
+        return verdict
+
+    def _notify(self, before: str, after: str) -> None:
+        """Invoke ``on_transition`` when the state actually changed.
+
+        Always called with the breaker lock released — the journal takes
+        its own lock and does IO. A failing callback is swallowed:
+        observability must never change breaker behavior.
+        """
+        if before == after or self.on_transition is None:
+            return
+        try:
+            self.on_transition(before, after)
+        except Exception:
+            pass
 
     def record_success(self) -> None:
         """A dispatch succeeded: close (and settle open-time accounting)."""
         with self._lock:
+            before = self._state
             if self._state != "closed" and self._opened_at is not None:
                 self._open_seconds += self._clock() - self._opened_at
                 self._opened_at = None
             self._state = "closed"
             self._consecutive = 0
             self._probing = False
+        self._notify(before, "closed")
 
     def record_failure(self) -> None:
         """A dispatch failed: count it; open at the threshold or on a
         failed probe."""
         with self._lock:
+            before = self._state
             self._consecutive += 1
             if self._state == "half-open" or (
                 self._state == "closed"
@@ -292,6 +320,8 @@ class CircuitBreaker:
                 self._state = "open"
                 self._opened_at = self._clock()
                 self._probing = False
+            after = self._state
+        self._notify(before, after)
 
     def open_seconds(self) -> float:
         """Cumulative seconds spent open/half-open (including a current

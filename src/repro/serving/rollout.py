@@ -276,10 +276,14 @@ class RolloutController:
         feedback: FeedbackCollector,
         config: RolloutConfig | None = None,
         clock=time.monotonic,
+        journal=None,
     ) -> None:
         self.service = service
         self.feedback = feedback
         self.config = config or RolloutConfig()
+        #: Duck-typed ops journal; every phase transition is recorded as
+        #: a ``rollout.transition`` event when present.
+        self.journal = journal
         self._clock = clock
         self._lock = threading.Lock()
         self.state = IDLE
@@ -437,15 +441,27 @@ class RolloutController:
 
     def _transition_locked(self, state: str, reason: str) -> str:
         self.state = state
-        self.transitions.append(
-            RolloutTransition(
-                state=state,
-                reason=reason,
-                staged_version=self.staged,
-                staged_samples=self.feedback.error_window(self.staged).total,
-                at=time.time(),
-            )
+        transition = RolloutTransition(
+            state=state,
+            reason=reason,
+            staged_version=self.staged,
+            staged_samples=self.feedback.error_window(self.staged).total,
+            at=time.time(),
         )
+        self.transitions.append(transition)
+        if self.journal is not None:
+            # Safe under our lock: the journal only takes its own lock
+            # and never calls back out. Never allowed to fail a rollout.
+            try:
+                self.journal.record(
+                    "rollout.transition",
+                    state=state,
+                    reason=reason,
+                    staged_version=self.staged,
+                    staged_samples=transition.staged_samples,
+                )
+            except Exception:
+                pass
         return state
 
     def describe(self) -> dict:

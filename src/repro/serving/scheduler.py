@@ -129,6 +129,11 @@ class MicroBatcher:
         self._closed = False
         self.submitted = 0
         self.rejected = 0
+        #: Duck-typed continuous profiler (anything with
+        #: ``record_stage(stage, duration_s, ...)``); ``None`` by default
+        #: — the hook in :meth:`_cut` is one None-check, so the
+        #: unprofiled scheduler is unchanged.
+        self.profiler = None
 
     def __len__(self) -> int:
         with self._lock:
@@ -282,4 +287,10 @@ class MicroBatcher:
         )
         batch = self._pending[: self.max_batch_size]
         del self._pending[: self.max_batch_size]
+        if self.profiler is not None and batch:
+            # The batching delay this cut imposed: the age of the oldest
+            # request at the moment the batch went out.
+            self.profiler.record_stage(
+                "batch.cut", time.perf_counter() - batch[0].enqueued_at
+            )
         return batch

@@ -217,6 +217,18 @@ class CostModelService:
             ``None`` (default) follows the fault injector's discipline —
             every tracing hook is a single ``is not None`` check, so the
             untraced path is byte-for-byte the pre-tracing path.
+        profiler: optional
+            :class:`~repro.serving.profiler.ContinuousProfiler`; when
+            attached, every pipeline stage (queue wait, batch cut,
+            compose, forward, serialize) feeds its exemplar-linked
+            histograms. Same ``None``-hook discipline as the tracer.
+        journal: optional duck-typed ops journal (anything with
+            ``record(kind, **fields)``, canonically
+            :class:`~repro.serving.journal.OpsJournal`); when attached,
+            lifecycle events — registry swaps, breaker transitions,
+            worker respawns, degradations — are durably recorded. It is
+            wired through to the registry and the executor here, so one
+            journal covers the whole stack.
 
     Responses hand out cached arrays by reference; clients must treat
     response values as read-only.
@@ -231,10 +243,18 @@ class CostModelService:
         feedback: FeedbackCollector | None = None,
         faults: FaultInjector | None = None,
         tracer: Tracer | None = None,
+        profiler=None,
+        journal=None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.faults = faults
         self.tracer = tracer
+        self.profiler = profiler
+        self.journal = journal
+        #: Optional :class:`~repro.serving.alerts.AlertEngine`; installed
+        #: via :meth:`attach_alerts` (the engine needs the built service
+        #: to read snapshots from, so it cannot be a ctor argument).
+        self.alerts = None
         if isinstance(source, ModelRegistry):
             self.registry = source
         else:
@@ -242,6 +262,8 @@ class CostModelService:
             self.registry.publish(source)
         if self.registry.active_version is None:
             raise ValueError("registry has no published model to serve")
+        if journal is not None and getattr(self.registry, "journal", None) is None:
+            self.registry.journal = journal
         self.scheduler = MicroBatcher(
             max_batch_size=self.config.max_batch_size,
             flush_interval_s=self.config.flush_interval_s,
@@ -249,12 +271,16 @@ class CostModelService:
             max_pending=self.config.max_pending,
             default_deadline_s=self.config.default_deadline_s,
         )
+        if profiler is not None:
+            self.scheduler.profiler = profiler
         self.result_cache = ResultCache(self.config.result_cache_entries)
         self.stats = ServingStats()
         self.feedback = feedback
         self._rollout = rollout or FullActivation()
         self._rollout_lock = threading.Lock()
         self.executor = executor or self._build_executor()
+        if journal is not None and hasattr(self.executor, "journal"):
+            self.executor.journal = journal
         self._exec_lock = threading.Lock()
         self._breakers: dict[int, CircuitBreaker] = {}
         self._breaker_lock = threading.Lock()
@@ -591,6 +617,43 @@ class CostModelService:
                 self._telemetry = self._build_telemetry()
             return self._telemetry
 
+    def _journal_event(self, kind: str, trace_id: str | None = None, **fields):
+        """Record a lifecycle event in the attached ops journal.
+
+        One ``None``-check on the hot path; a journal failure is
+        swallowed — observability must never fail a request.
+        """
+        if self.journal is None:
+            return
+        try:
+            self.journal.record(kind, trace_id=trace_id, **fields)
+        except Exception:
+            pass
+
+    def attach_alerts(self, engine) -> None:
+        """Install an :class:`~repro.serving.alerts.AlertEngine`.
+
+        Wires the engine to this service's telemetry snapshot (when it
+        has no source of its own), to the attached journal, to a recent-
+        trace exemplar source, and into the metrics registry. The engine
+        stays *pulled* — call ``engine.evaluate()`` from the ops loop
+        (or ``engine.start()`` it).
+        """
+        if engine._source is None:
+            engine._source = self.telemetry.collect
+        if engine.journal is None and self.journal is not None:
+            engine.journal = self.journal
+        if engine._exemplar is None and self.tracer is not None:
+            tracer = self.tracer
+
+            def _exemplar() -> str | None:
+                recent = tracer.recent(1)
+                return recent[0]["trace_id"] if recent else None
+
+            engine._exemplar = _exemplar
+        engine.register_into(self.telemetry)
+        self.alerts = engine
+
     def _build_telemetry(self) -> TelemetryRegistry:
         registry = TelemetryRegistry()
         self.stats.register_into(registry)
@@ -615,9 +678,14 @@ class CostModelService:
             registry.mark_counter(
                 "traces_started",
                 "traces_evicted",
+                "trace_ring_evicted",
                 "traces_unsampled",
                 "spans_recorded",
             )
+        if self.profiler is not None:
+            self.profiler.register_into(registry)
+        if self.journal is not None and hasattr(self.journal, "register_into"):
+            self.journal.register_into(registry)
         return registry
 
     def _collect_shards(self) -> dict:
@@ -739,7 +807,8 @@ class CostModelService:
             if not batch:
                 return
             tracer = self.tracer
-            if tracer is not None:
+            profiler = self.profiler
+            if tracer is not None or profiler is not None:
                 cut_wall, cut_perf = time.time(), time.perf_counter()
             groups: dict[str, list[PendingRequest]] = {}
             shadow_groups: dict[str, list[PendingRequest]] = {}
@@ -775,6 +844,13 @@ class CostModelService:
                         if shadow is not None:
                             route_attrs["shadow"] = shadow
                         tracer.event(ctx, "route", attrs=route_attrs)
+                if profiler is not None:
+                    ctx = getattr(pending.request, "trace", None)
+                    profiler.record_stage(
+                        "queue.wait",
+                        cut_perf - pending.enqueued_at,
+                        trace_id=ctx.trace_id if ctx is not None else None,
+                    )
             total_forwards = 0
             for version, sub_batch in groups.items():
                 try:
@@ -837,9 +913,19 @@ class CostModelService:
         with self._breaker_lock:
             breaker = self._breakers.get(shard)
             if breaker is None:
+                on_transition = None
+                if self.journal is not None:
+                    on_transition = (
+                        lambda frm, to, _shard=shard: self._journal_event(
+                            "breaker.transition",
+                            shard=_shard,
+                            **{"from": frm, "to": to},
+                        )
+                    )
                 breaker = CircuitBreaker(
                     failure_threshold=self.config.breaker_failure_threshold,
                     reset_s=self.config.breaker_reset_s,
+                    on_transition=on_transition,
                 )
                 self._breakers[shard] = breaker
             return breaker
@@ -876,6 +962,13 @@ class CostModelService:
                 if ctx is not None:
                     self.tracer.event(ctx, "degraded", attrs={"reason": reason})
                     self.tracer.finish(ctx, status="degraded")
+                self._journal_event(
+                    "service.degraded",
+                    trace_id=ctx.trace_id if ctx is not None else None,
+                    shard=shard,
+                    version=version,
+                    reason=reason.splitlines()[0][:200] if reason else "",
+                )
                 pending.future.set_result(
                     Response(
                         value=value,
@@ -952,12 +1045,30 @@ class CostModelService:
 
         Returns the number of model forwards spent.
         """
+        profiler = self.profiler
+        if profiler is not None:
+            # One exemplar per batch: the first traced request links the
+            # aggregate stage histograms back to a concrete trace tree.
+            exemplar = next(
+                (
+                    ctx.trace_id
+                    for pending in batch
+                    if (ctx := getattr(pending.request, "trace", None))
+                    is not None
+                ),
+                None,
+            )
+            stage_start = time.perf_counter()
         commands, groups = self._build_commands(
             batch,
             on_malformed=lambda pending, message: self._resolve_error(
                 pending, version, message
             ),
         )
+        if profiler is not None:
+            profiler.record_stage(
+                "compose", time.perf_counter() - stage_start, trace_id=exemplar
+            )
         # Circuit-breaker gate: commands for a shard whose breaker is
         # open (and not yet due a half-open probe) never reach the
         # executor — their requests are answered from the analytical
@@ -1014,6 +1125,8 @@ class CostModelService:
                         shard,
                         f"shard {shard} circuit breaker is open",
                     )
+        if profiler is not None:
+            stage_start = time.perf_counter()
         try:
             results = (
                 self.executor.run(version, run_commands) if run_commands else []
@@ -1024,6 +1137,14 @@ class CostModelService:
                     for ctx, span_id in spans:
                         tracer.end_span(ctx.trace_id, span_id, status="error")
             raise
+        if profiler is not None:
+            profiler.record_stage(
+                "forward",
+                time.perf_counter() - stage_start,
+                trace_id=exemplar,
+                path="request;forward;executor",
+            )
+            stage_start = time.perf_counter()
 
         forwards = 0
         for (kind, shard, group), result, spans in zip(
@@ -1102,6 +1223,10 @@ class CostModelService:
                         canary=canary,
                     )
                     offset += n
+        if profiler is not None:
+            profiler.record_stage(
+                "serialize", time.perf_counter() - stage_start, trace_id=exemplar
+            )
         return forwards
 
     def _execute_shadow(self, version: str, batch: list[PendingRequest]) -> None:

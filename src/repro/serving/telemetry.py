@@ -472,6 +472,63 @@ class Tracer:
             walk(root, "", i == len(roots) - 1)
         return "\n".join(lines)
 
+    def chrome_trace(self, trace_id: str) -> dict | None:
+        """The trace as a Chrome trace-event JSON document, or ``None``
+        for an unknown id.
+
+        The payload opens directly in ``chrome://tracing`` and Perfetto:
+        each process that contributed spans becomes a track (an ``M``
+        ``process_name`` metadata event), timed spans become complete
+        (``X``) events with microsecond ``ts``/``dur``, and zero-duration
+        marker spans become instant (``i``) events. Span/parent ids and
+        attrs ride in ``args`` so the original tree stays recoverable.
+        """
+        with self._lock:
+            spans = self._traces.get(trace_id)
+            if spans is None:
+                return None
+            snapshot = [span.to_dict() for span in spans]
+        snapshot.sort(key=lambda e: e["start"])
+        pids: dict[str, int] = {}
+        for entry in snapshot:
+            pids.setdefault(entry["process"], len(pids) + 1)
+        events: list[dict] = [
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process},
+            }
+            for process, pid in pids.items()
+        ]
+        for entry in snapshot:
+            ts_us = entry["start"] * 1e6
+            dur_us = entry["duration_s"] * 1e6
+            args = {
+                "span_id": entry["span_id"],
+                "parent_id": entry["parent_id"],
+                "status": entry["status"],
+                **entry["attrs"],
+            }
+            base = {
+                "name": entry["name"],
+                "cat": entry["process"],
+                "pid": pids[entry["process"]],
+                "tid": 0,
+                "ts": ts_us,
+                "args": args,
+            }
+            if entry["status"] == "event" or dur_us <= 0.0:
+                events.append({**base, "ph": "i", "s": "t"})
+            else:
+                events.append({**base, "ph": "X", "dur": dur_us})
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"trace_id": trace_id},
+        }
+
     def snapshot(self) -> dict:
         """Tracer accounting for the metrics registry."""
         with self._lock:
@@ -481,6 +538,9 @@ class Tracer:
             "traces_started": float(self.traces_started),
             "traces_retained": float(retained),
             "traces_evicted": float(self.traces_evicted),
+            # The ring-eviction counter under its exposition name; kept
+            # alongside the legacy key so existing dashboards survive.
+            "trace_ring_evicted": float(self.traces_evicted),
             "traces_unsampled": float(self.unsampled),
             "spans_recorded": float(self.spans_recorded),
         }
@@ -714,6 +774,8 @@ class TelemetryRegistry:
         "breakers": "shard",
         "shard_load_ewma": "shard",
         "shard_latency_ewma": "shard",
+        "gateway_accesses": "endpoint",
+        "profiler_stage": "stage",
     }
 
     @staticmethod
@@ -726,14 +788,34 @@ class TelemetryRegistry:
 
     @staticmethod
     def _format_labels(labels: dict) -> str:
+        # Label-value escaping per the exposition format: backslash
+        # first (so the other escapes aren't double-escaped), then
+        # quote, then newline — an unescaped newline in a label value
+        # would truncate the sample line and corrupt the whole scrape.
         if not labels:
             return ""
         escaped = {
-            k: str(v).replace("\\", "\\\\").replace('"', '\\"')
+            k: str(v)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
             for k, v in labels.items()
         }
         inner = ",".join(f'{k}="{v}"' for k, v in sorted(escaped.items()))
         return "{" + inner + "}"
+
+    @staticmethod
+    def _format_value(value: float) -> str:
+        # The exposition format spells non-finite values "NaN", "+Inf",
+        # "-Inf" — Python's "nan"/"inf" spellings are rejected by
+        # Prometheus parsers.
+        if value != value:
+            return "NaN"
+        if value == float("inf"):
+            return "+Inf"
+        if value == float("-inf"):
+            return "-Inf"
+        return f"{value:.10g}"
 
     def prometheus(self) -> str:
         """The full snapshot in Prometheus text exposition format."""
@@ -766,7 +848,12 @@ class TelemetryRegistry:
                             for sub, sub_value in entry.items():
                                 walk(sub, sub_value, member_labels, name)
                         else:
-                            emit(name, member_labels, entry, False)
+                            emit(
+                                name,
+                                member_labels,
+                                entry,
+                                key in self._counter_keys,
+                            )
                     return
                 for sub, sub_value in value.items():
                     walk(sub, sub_value, labels, name)
@@ -783,7 +870,9 @@ class TelemetryRegistry:
             lines.append(f"# TYPE {series} {types[series]}")
             for labels, value in rows:
                 formatted = (
-                    f"{value:.10g}" if isinstance(value, float) else str(value)
+                    self._format_value(value)
+                    if isinstance(value, float)
+                    else str(value)
                 )
                 lines.append(f"{series}{self._format_labels(labels)} {formatted}")
         if infos:

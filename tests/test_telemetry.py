@@ -11,6 +11,7 @@ the gateway must answer over a real socket.
 import json
 import os
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -21,11 +22,15 @@ from repro.data import Scalers, build_tile_dataset
 from repro.models import LearnedPerformanceModel, ModelConfig
 from repro.models.trainer import TrainResult
 from repro.serving import (
+    AlertEngine,
+    ContinuousProfiler,
     CostModelService,
     MetricsGateway,
+    OpsJournal,
     ServiceConfig,
     ServiceEvaluator,
     TelemetryRegistry,
+    ThresholdRule,
     TraceContext,
     Tracer,
     decode_request,
@@ -256,6 +261,45 @@ class TestTraceAssembly:
         # The newest four survive, oldest first in the buffer.
         assert [t["trace_id"] for t in tracer.recent(10)] == ids[-1:-5:-1]
         assert tracer.trace(ids[0]) is None
+        # Canonical counter alias alongside the legacy key.
+        assert snap["trace_ring_evicted"] == 6.0
+
+    def test_eviction_counter_lands_in_exposition_as_a_total(self):
+        tracer = Tracer(max_traces=1)
+        for _ in range(3):
+            ctx = tracer.ingress(type("R", (), {"trace": None})())
+            tracer.finish(ctx)
+        registry = TelemetryRegistry()
+        registry.register_collector("tracer", tracer.snapshot)
+        registry.mark_counter("trace_ring_evicted")
+        text = registry.prometheus()
+        assert "repro_trace_ring_evicted_total 2" in text
+
+    def test_chrome_trace_export(self):
+        tracer = Tracer()
+        ctx = tracer.ingress(type("R", (), {"trace": None})())
+        with tracer.span(ctx, "stage") as stage:
+            tracer.event(stage, "marker")
+        tracer.finish(ctx)
+        document = tracer.chrome_trace(ctx.trace_id)
+        assert document["otherData"]["trace_id"] == ctx.trace_id
+        events = document["traceEvents"]
+        phases = [e["ph"] for e in events]
+        # One process_name metadata record, complete spans, an instant
+        # event for the zero-duration marker.
+        assert "M" in phases and "X" in phases and "i" in phases
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"request", "stage"}
+        for event in complete:
+            # Timestamps/durations are microseconds.
+            assert event["ts"] >= 0 and event["dur"] > 0
+            assert event["args"]["span_id"]
+        # The document is directly JSON-serializable (chrome://tracing
+        # loads it as-is).
+        json.dumps(document)
+
+    def test_chrome_trace_unknown_id_is_none(self):
+        assert Tracer().chrome_trace("t-missing") is None
 
 
 # ---------------------------------------------------------------------- #
@@ -404,6 +448,36 @@ class TestPrometheusExposition:
         assert 'active_version="v\\"1\\\\x"' in text
         assert "repro_info" in text
         assert "transitions" not in text
+
+    def test_label_values_escape_newlines(self):
+        """An unescaped newline in a label value truncates the sample
+        line and corrupts the whole scrape — the exposition format
+        requires it spelled \\n."""
+        registry = TelemetryRegistry()
+        registry.register_collector(
+            "meta",
+            lambda: {"per_shard": {"bad\nname": {"x": 1.0}}},
+        )
+        text = registry.prometheus()
+        assert 'shard="bad\\nname"' in text
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            # Every sample line still ends in a parsable value.
+            float(line.rpartition(" ")[2])
+
+    def test_nonfinite_gauges_render_per_exposition_format(self):
+        """Prometheus parsers accept NaN/+Inf/-Inf, not Python's
+        nan/inf spellings."""
+        registry = TelemetryRegistry()
+        registry.gauge("g_nan").set(float("nan"))
+        registry.gauge("g_pinf").set(float("inf"))
+        registry.gauge("g_ninf").set(float("-inf"))
+        text = registry.prometheus()
+        assert "repro_g_nan NaN" in text
+        assert "repro_g_pinf +Inf" in text
+        assert "repro_g_ninf -Inf" in text
+        assert "nan\n" not in text and " inf" not in text
 
     def test_exposition_parses_line_by_line(self):
         """Every non-comment line must be `name{labels} value` with a
@@ -585,6 +659,89 @@ class TestGateway:
         finally:
             service.stop()
 
+    def test_observability_endpoints(self, corpus, result_a, tmp_path):
+        """Chrome export, ``/profile``, ``/alerts``, ``/events/recent``,
+        and the per-endpoint access family — the active-observability
+        surface over a real socket."""
+        records, _ = corpus
+        journal = OpsJournal(tmp_path / "ops.jsonl")
+        service = CostModelService(
+            result_a,
+            ServiceConfig(replicas=1, result_cache_entries=0),
+            tracer=Tracer(sample_rate=1.0),
+            profiler=ContinuousProfiler(),
+            journal=journal,
+        ).start()
+        try:
+            service.attach_alerts(
+                AlertEngine(
+                    rules=[
+                        ThresholdRule(
+                            name="any_traffic", metric="requests", threshold=0.0
+                        )
+                    ]
+                )
+            )
+            with MetricsGateway(service) as gateway:
+                client = ServiceEvaluator(service, timeout_s=120.0)
+                record = records[0]
+                client.score_tiles_batched(
+                    record.kernel, enumerate_tile_sizes(record.kernel)[:4]
+                )
+                service.alerts.evaluate()
+
+                status, _, body = _get(gateway.address, "/traces/recent?n=1")
+                trace_id = json.loads(body)["traces"][0]["trace_id"]
+                status, _, body = _get(
+                    gateway.address, f"/traces/{trace_id}?format=chrome"
+                )
+                document = json.loads(body)
+                assert status == 200
+                assert document["otherData"]["trace_id"] == trace_id
+                assert any(e["ph"] == "X" for e in document["traceEvents"])
+
+                status, _, body = _get(gateway.address, "/profile")
+                profile = json.loads(body)
+                assert status == 200
+                stages = profile["stages"]
+                assert stages["forward"]["count"] >= 1
+                assert stages["queue.wait"]["exemplar"] == trace_id
+                status, _, body = _get(gateway.address, "/profile?format=folded")
+                assert status == 200 and b"request;forward;executor" in body
+
+                status, _, body = _get(gateway.address, "/alerts")
+                board = json.loads(body)
+                assert status == 200 and board["firing"] >= 1
+                assert board["alerts"][0]["name"] == "any_traffic"
+
+                status, _, body = _get(gateway.address, "/events/recent?n=10")
+                events = json.loads(body)["events"]
+                assert status == 200
+                assert any(e["kind"] == "alert.transition" for e in events)
+
+                status, _, body = _get(gateway.address, "/metrics")
+                text = body.decode()
+                assert 'repro_gateway_accesses_total{endpoint="profile"}' in text
+                assert 'repro_gateway_accesses_total{endpoint="alerts"}' in text
+        finally:
+            service.stop()
+            journal.close()
+
+    def test_observability_endpoints_503_when_not_attached(
+        self, corpus, result_a
+    ):
+        service = CostModelService(
+            result_a, ServiceConfig(replicas=1, result_cache_entries=0)
+        ).start()
+        try:
+            with MetricsGateway(service) as gateway:
+                for path in ("/profile", "/alerts", "/events/recent"):
+                    with pytest.raises(urllib.error.HTTPError) as exc:
+                        _get(gateway.address, path)
+                    assert exc.value.code == 503
+        finally:
+            service.stop()
+
     def test_error_statuses(self, corpus, result_a):
         service = CostModelService(
             result_a, ServiceConfig(replicas=1, result_cache_entries=0)
@@ -598,7 +755,15 @@ class TestGateway:
                 with pytest.raises(urllib.error.HTTPError) as exc:
                     _get(gateway.address, "/traces/recent")
                 assert exc.value.code == 503
-                errors = json.loads(service.telemetry.json())["gateway_errors"]
+                # Counters are incremented after the response is written,
+                # so give the handler thread a beat to finish accounting.
+                for _ in range(100):
+                    errors = json.loads(service.telemetry.json())[
+                        "gateway_errors"
+                    ]
+                    if errors >= 2.0:
+                        break
+                    time.sleep(0.01)
                 assert errors >= 2.0
         finally:
             service.stop()
