@@ -23,6 +23,14 @@ all against process-sharded services:
 * **profiled** — a full-sampling :class:`ContinuousProfiler` attached:
   >= 0.95x baseline (the record path is a handful of dict updates under
   one lock — continuous profiling must be cheap enough to leave on);
+* **probed** — a :class:`SyntheticProber` sweeping golden-kernel
+  probes through every live route at its default 1 s cadence while the
+  fleet load runs: >= 0.97x baseline (probes coalesce into the same
+  micro-batches as business traffic, so their marginal cost is a few
+  extra rows per forward), zero known-answer failures, and — with the
+  prober attached but *not* started — the service's score arrays must
+  stay bitwise identical to the plain stack's (the hook sites are
+  ``is not None`` checks; an idle prober is free);
 * **traced probe** — a 100%-sampling tracer, one scoring request: the
   retained trace tree must contain spans from all four layers
   (frontend ingress, scheduler queue-wait, executor dispatch, worker
@@ -41,6 +49,19 @@ injector is then disarmed and healthy traffic walks it to resolved. The
 gates check the *full journaled state sequence* and that the firing
 transition carries an exemplar ``trace_id`` resolvable against the
 tracer's retained ring — alerts must point at evidence, not just page.
+
+The **incident scenario** is the end-to-end story the prober exists
+for: a corrupt-checkpoint fault rule poisons one shard's next
+``registry.load`` and a one-shot dispatch kill forces that reload, so
+the shard comes back silently serving failures. Business traffic is
+pinned to the healthy shard; only synthetic probes touch the poisoned
+one. The gates require the probe known-answer sweep to catch the bad
+route while ``stats.errors`` is still zero (the outage is detected
+before any client request errors), the ``prober_routes_failing``
+threshold alert to fire, and the :class:`IncidentReporter`'s top-ranked
+cause to name the correct shard and cite a journal seq. The full
+incident report is written under ``bench-artifacts/`` so CI uploads the
+post-mortem with the run.
 
 The box this runs on is noisy: back-to-back passes of the *same*
 untouched service can spread >10% rps. Sequential phases would fold that
@@ -83,11 +104,16 @@ from repro.serving import (  # noqa: E402
     FaultInjector,
     FaultPlan,
     FaultRule,
+    GoldenProbe,
+    IncidentReporter,
     MetricsGateway,
     OpsJournal,
     ServiceConfig,
     ServiceEvaluator,
+    SyntheticProber,
+    ThresholdRule,
     Tracer,
+    shard_of,
 )
 from repro.workloads import vision  # noqa: E402
 
@@ -156,6 +182,18 @@ def _workload(records, requests_per_client: int):
         start = (i * CHUNK) % (len(tiles) - CHUNK + 1)
         stream.append((kernel, tiles[start:start + CHUNK]))
     return stream
+
+
+def _probe_corpus(records, count: int = 3) -> list[GoldenProbe]:
+    """Golden probes drawn from the workload's own kernels."""
+    probes = []
+    for record in records:
+        tiles = enumerate_tile_sizes(record.kernel)
+        if len(tiles) >= CHUNK:
+            probes.append(GoldenProbe(record.kernel, tuple(tiles[:CHUNK])))
+        if len(probes) >= count:
+            break
+    return probes
 
 
 def _fleet_pass(service, stream) -> float:
@@ -451,6 +489,153 @@ def _alert_scenario(result, stream) -> dict:
         journal.close()
 
 
+def _incident_scenario(result, dataset) -> dict:
+    """Silent one-shard corruption: the probe must catch it before any
+    client request errors, the alert must fire, and the incident report
+    must blame the right shard — the paper-over-pager contract."""
+    replicas = 2
+    # Route the workload by fingerprint up front: probes must cover both
+    # shards, business traffic must be pinned to the healthy one.
+    by_shard: dict[int, list] = {0: [], 1: []}
+    for record in dataset.records:
+        tiles = enumerate_tile_sizes(record.kernel)
+        if len(tiles) >= CHUNK:
+            shard = shard_of(record.kernel.fingerprint(), replicas)
+            by_shard[shard].append((record.kernel, tuple(tiles[:CHUNK])))
+    if not by_shard[0] or not by_shard[1]:
+        return {"skipped": "workload does not cover both shards"}
+    bad_shard = 1
+    corpus = [GoldenProbe(k, t) for k, t in (by_shard[0][0], by_shard[1][0])]
+    good_stream = by_shard[0][:4] or by_shard[0]
+
+    journal_dir = os.path.join(ARTIFACTS_DIR, "incident-journal")
+    os.makedirs(journal_dir, exist_ok=True)
+    for name in os.listdir(journal_dir):  # stale generations from prior runs
+        os.remove(os.path.join(journal_dir, name))
+    journal_path = os.path.join(journal_dir, "ops.jsonl")
+    report_path = os.path.join(ARTIFACTS_DIR, "incident-report.json")
+
+    # Armed later: every post-arm checkpoint ship to the bad shard is
+    # corrupted, and a one-shot dispatch kill forces exactly one reload.
+    # Both hooks fire in the scheduler process, so arm() reaches them.
+    injector = FaultInjector(
+        FaultPlan(
+            rules=(
+                FaultRule(
+                    hook="registry.load", kind="corrupt",
+                    shard=bad_shard, count=None,
+                ),
+                FaultRule(
+                    hook="executor.dispatch", kind="kill",
+                    shard=bad_shard, count=1,
+                ),
+            ),
+            seed=0,
+        ),
+        armed=False,
+    )
+    journal = OpsJournal(journal_path)
+    service = CostModelService(
+        result,
+        ServiceConfig(
+            executor="process", replicas=replicas, max_batch_size=64,
+            flush_interval_s=0.002, adaptive_flush=False,
+            result_cache_entries=0, dispatch_timeout_s=30.0,
+        ),
+        faults=injector,
+        journal=journal,
+    ).start()
+    prober = SyntheticProber(corpus, journal=journal)
+    service.attach_prober(prober)
+    engine = AlertEngine(
+        rules=[
+            ThresholdRule(
+                name="probe_integrity",
+                metric="prober_routes_failing",
+                threshold=0.0,
+                severity="critical",
+            )
+        ]
+    )
+    service.attach_alerts(engine)
+    reporter = IncidentReporter()
+    service.attach_incidents(reporter)
+    try:
+        client = ServiceEvaluator(service, timeout_s=TIMEOUT_S)
+
+        def pump(n: int) -> None:
+            for i in range(n):
+                kernel, tiles = good_stream[i % len(good_stream)]
+                client.score_tiles_batched(kernel, tiles)
+
+        # Phase 1 — healthy: business traffic flows, a probe sweep
+        # passes every route, the alert stays quiet.
+        pump(8)
+        prober.sweep()
+        engine.evaluate()
+        healthy = {
+            "failing_routes": dict(prober.failing_routes()),
+            "alert_state": engine.state("probe_integrity"),
+        }
+
+        # Phase 2 — silent corruption: the kill forces a respawn, the
+        # respawn reloads a poisoned checkpoint. No business request
+        # touches the bad shard; only probes do.
+        injector.arm()
+        detection = None
+        deadline = time.perf_counter() + PHASE_TIMEOUT_S
+        while detection is None and time.perf_counter() < deadline:
+            prober.sweep()
+            failing = prober.failing_routes()
+            if failing:
+                stats = service.stats.snapshot()
+                detection = {
+                    "failing_routes": dict(failing),
+                    "client_errors": stats["errors"],
+                    "client_requests": stats["requests"],
+                }
+        # Business traffic on the healthy shard still succeeds.
+        pump(4)
+
+        # Phase 3 — the threshold alert walks pending → firing, which
+        # triggers the incident reporter.
+        deadline = time.perf_counter() + PHASE_TIMEOUT_S
+        while (
+            engine.state("probe_integrity") != "firing"
+            and time.perf_counter() < deadline
+        ):
+            engine.evaluate()
+            time.sleep(0.01)
+
+        incidents = reporter.reports()
+        incident = reporter.report(incidents[0]["id"]) if incidents else None
+        os.makedirs(ARTIFACTS_DIR, exist_ok=True)
+        with open(report_path, "w", encoding="utf-8") as fh:
+            json.dump(incident, fh, indent=2, default=str)
+        final_stats = service.stats.snapshot()
+        causes = (incident or {}).get("causes") or [{}]
+        top_cause = causes[0]
+        return {
+            "journal_path": journal_path,
+            "report_path": report_path,
+            "bad_shard": bad_shard,
+            "healthy": healthy,
+            "detection": detection,
+            "alert_state": engine.state("probe_integrity"),
+            "client_errors_final": final_stats["errors"],
+            "client_requests_final": final_stats["requests"],
+            "incidents": incidents,
+            "top_cause": {
+                k: top_cause.get(k)
+                for k in ("kind", "score", "cause", "evidence")
+            },
+            "prober": prober.health(),
+        }
+    finally:
+        service.stop()
+        journal.close()
+
+
 def main() -> dict:
     result, dataset = _build_result()
     stream = _workload(dataset.records, REQUESTS_PER_CLIENT)
@@ -475,15 +660,35 @@ def main() -> dict:
     profiled_svc = CostModelService(
         result, _service_config(), profiler=profiler
     ).start()
+    prober = SyntheticProber(_probe_corpus(dataset.records))
+    probed_svc = CostModelService(result, _service_config()).start()
+    probed_svc.attach_prober(prober)
     try:
-        for svc in (plain, sampled_svc, profiled_svc):
+        for svc in (plain, sampled_svc, profiled_svc, probed_svc):
             warm = ServiceEvaluator(svc, timeout_s=TIMEOUT_S)
             for kernel, tiles in stream:
                 warm.score_tiles_batched(kernel, tiles)
         reference = _reference_scores(plain, stream)
 
+        # Prober attached but idle: the hook sites must be free, so the
+        # probed service's answers are held to the bitwise bar.
+        probed_scores = _reference_scores(probed_svc, stream)
+        report["probed_bitwise_identical"] = bool(
+            len(reference) == len(probed_scores)
+            and all(
+                np.array_equal(a, b)
+                for a, b in zip(reference, probed_scores)
+            )
+        )
+        # Prime the prober's reference evaluators (one-time checkpoint
+        # deserialization) outside the measured window, then let it
+        # sweep at its default cadence for the whole probed phase.
+        prober.sweep()
+        prober.start()
+
         rates: dict[str, list[float]] = {
             "baseline": [], "scraped": [], "sampled": [], "profiled": [],
+            "probed": [],
         }
         scrapes = 0
         with MetricsGateway(plain) as gateway:
@@ -501,6 +706,7 @@ def main() -> dict:
                 ("scraped", scraped_pass),
                 ("sampled", lambda: _fleet_pass(sampled_svc, stream)),
                 ("profiled", lambda: _fleet_pass(profiled_svc, stream)),
+                ("probed", lambda: _fleet_pass(probed_svc, stream)),
             ]
             for round_idx in range(REPEATS):
                 # Rotate mode order each round so any positional effect
@@ -516,6 +722,10 @@ def main() -> dict:
         report["sampled"]["tracer"] = tracer.snapshot()
         report["profiled"] = _summary(rates["profiled"], stream)
         report["profiled"]["profiler"] = profiler.snapshot()
+        prober.stop()
+        report["probed"] = _summary(rates["probed"], stream)
+        report["probed"]["prober"] = prober.health()
+        report["probed"]["sweeps"] = prober.sweeps
         profiled_scores = _reference_scores(profiled_svc, stream)
         report["profiled_bitwise_identical"] = bool(
             len(reference) == len(profiled_scores)
@@ -525,9 +735,11 @@ def main() -> dict:
             )
         )
     finally:
+        prober.stop()
         plain.stop()
         sampled_svc.stop()
         profiled_svc.stop()
+        probed_svc.stop()
 
     # Fidelity: 100% sampling — trace tree + the bitwise probe.
     probe = _trace_probe(result, stream)
@@ -552,10 +764,19 @@ def main() -> dict:
         report["profiled"]["all_passes_rps"],
         report["baseline"]["all_passes_rps"],
     )
+    report["probed_ratio"] = _median_paired_ratio(
+        report["probed"]["all_passes_rps"],
+        report["baseline"]["all_passes_rps"],
+    )
 
     # Alert fidelity: slow-worker faults must walk the burn-rate alert
     # through its full state machine, durably journaled.
     report["alert_scenario"] = _alert_scenario(result, stream)
+
+    # Incident fidelity: one silently-corrupted shard must be caught by
+    # the probe sweep before any client sees an error, and the incident
+    # report must blame the right shard.
+    report["incident_scenario"] = _incident_scenario(result, dataset)
     return report
 
 
@@ -584,6 +805,22 @@ def _gates(report: dict) -> list[str]:
         )
     if not report["profiled_bitwise_identical"]:
         failures.append("profiling perturbed the scores: not bitwise identical")
+    if not report["probed_bitwise_identical"]:
+        failures.append(
+            "an idle attached prober perturbed the scores: "
+            "not bitwise identical"
+        )
+    if report["probed_ratio"] < 0.97:
+        failures.append(
+            f"probed throughput {report['probed_ratio']:.3f}x baseline < 0.97x"
+        )
+    if report["probed"]["sweeps"] < 1:
+        failures.append("the prober never completed a sweep under load")
+    if report["probed"]["prober"]["failures"] > 0:
+        failures.append(
+            "probe known-answer failures on a healthy service "
+            f"({report['probed']['prober']['failures']})"
+        )
     scenario = report["alert_scenario"]
     sequence = scenario["state_sequence"]
     if not _subsequence(("pending", "firing", "resolved"), sequence):
@@ -607,6 +844,52 @@ def _gates(report: dict) -> list[str]:
         )
     if report["scraped"]["scrapes"] < 1:
         failures.append("the scraper never completed a /metrics scrape")
+    incident = report["incident_scenario"]
+    if incident.get("skipped"):
+        failures.append(f"incident scenario skipped: {incident['skipped']}")
+        return failures
+    detection = incident.get("detection")
+    if not detection:
+        failures.append(
+            "probes never caught the silently corrupted shard"
+        )
+        return failures
+    bad = str(incident["bad_shard"])
+    if not any(
+        route.split(":")[1] == bad for route in detection["failing_routes"]
+    ):
+        failures.append(
+            f"probe failures did not isolate shard {bad} "
+            f"(failing: {sorted(detection['failing_routes'])})"
+        )
+    if detection["client_errors"] > 0:
+        failures.append(
+            "clients saw errors before the probe caught the corruption "
+            f"({detection['client_errors']} errors)"
+        )
+    if incident["alert_state"] != "firing":
+        failures.append(
+            "the probe-integrity alert never fired "
+            f"(state {incident['alert_state']!r})"
+        )
+    cause = incident["top_cause"]
+    if cause.get("kind") != "probe_failure":
+        failures.append(
+            f"incident top cause is {cause.get('kind')!r}, not probe_failure"
+        )
+    else:
+        evidence = cause.get("evidence") or {}
+        if str(evidence.get("shard")) != bad:
+            failures.append(
+                f"incident top cause blames shard {evidence.get('shard')}, "
+                f"expected {bad}"
+            )
+        if evidence.get("first_failure_seq") is None:
+            failures.append(
+                "incident top cause cites no journal seq for first failure"
+            )
+    if not os.path.exists(incident.get("report_path", "")):
+        failures.append("incident report JSON was not written to artifacts")
     return failures
 
 

@@ -19,6 +19,14 @@ registry spill/restore (staged marker included), the service metrics
 with the per-shard and per-version breakdowns, and the observability
 surface — a rendered end-to-end trace tree of one request and the
 Prometheus ``/metrics`` exposition served over the HTTP ops gateway.
+The finale is *active* observability: golden-kernel synthetic probes
+with precomputed known answers sweep every live route, a silent
+in-memory corruption of the serving-side model (the sealed checkpoint
+blob stays pristine — exactly the failure checksums cannot catch) is
+caught by the known-answer check before any client request errors, the
+probe-integrity alert fires, and the incident reporter's top-ranked
+cause names the breached route — served over ``/probes`` and
+``/incidents``.
 
 Every claimed outcome is checked; the script exits non-zero on any
 failure, so CI runs it as a smoke test.
@@ -45,9 +53,12 @@ from repro.serving import (
     PROMOTED,
     ROLLED_BACK,
     SHADOW,
+    AlertEngine,
     CostModelService,
     FeedbackCollector,
     FullActivation,
+    GoldenProbe,
+    IncidentReporter,
     MetricsGateway,
     ModelRegistry,
     PlacementConfig,
@@ -58,6 +69,8 @@ from repro.serving import (
     ServiceEvaluator,
     SocketEvaluator,
     SocketFrontend,
+    SyntheticProber,
+    ThresholdRule,
     Tracer,
     regressed_checkpoint,
     request_key,
@@ -405,6 +418,114 @@ def main() -> None:
             print(f"/metrics exposition ({len(shown)} lines), first 12:")
             for line in shown[:12]:
                 print(f"  {line}")
+
+        # 11. Active probing + a forced incident. Golden probes carry
+        #     precomputed known answers; a healthy sweep verifies every
+        #     live route bitwise. Then the serving-side model object is
+        #     corrupted *in memory* — the sealed checkpoint blob stays
+        #     pristine, so the registry's SHA-256 can never catch it —
+        #     and the probe known-answer check catches it instead,
+        #     before any client request errors. The threshold alert on
+        #     `prober_routes_failing` fires, and the incident reporter
+        #     turns the firing into a ranked root-cause report.
+        corpus = [
+            GoldenProbe(kernel, tuple(tiles)) for kernel, tiles in stream[:3]
+        ]
+        prober = SyntheticProber(corpus)
+        service.attach_prober(prober)
+        reporter = IncidentReporter()
+        service.attach_incidents(reporter)
+        engine = AlertEngine(
+            rules=[
+                ThresholdRule(
+                    name="probe_integrity",
+                    metric="prober_routes_failing",
+                    threshold=0.0,
+                    severity="critical",
+                )
+            ]
+        )
+        service.attach_alerts(engine)
+
+        summary = prober.sweep()
+        _check(summary["failures"] == 0, "healthy sweep reported probe failures")
+        _check(
+            all(v["exact"] for v in prober.recent(summary["probes"])),
+            "healthy probes were not bitwise-exact against their references",
+        )
+        print(
+            f"probe sweep: {summary['probes']} probes, all known answers "
+            f"bitwise-exact ({summary['routes_covered']} routes covered)"
+        )
+
+        errors_before = service.metrics()["errors"]
+        param = registry.get(registry.active_version).model.parameters()[0].data
+        original = param.flat[0]
+        param.flat[0] = original + 100.0  # silent serving-side corruption
+        summary = prober.sweep()
+        _check(summary["failures"] >= 1, "probe sweep missed the corrupted model")
+        failing = prober.failing_routes()
+        _check(bool(failing), "probe failures recorded no failing route")
+        _check(
+            service.metrics()["errors"] == errors_before,
+            "corruption produced client-visible errors before the probe caught it",
+        )
+        verdict = next(v for v in prober.recent(10) if v["outcome"] == "fail")
+        print(
+            f"corruption caught by probe on route {verdict['route']}: "
+            f"{verdict['reason']} (no client request errored)"
+        )
+
+        for _ in range(5):
+            if engine.state("probe_integrity") == "firing":
+                break
+            engine.evaluate()
+        _check(
+            engine.state("probe_integrity") == "firing",
+            "probe-integrity alert did not fire",
+        )
+        incidents = reporter.reports()
+        _check(bool(incidents), "firing alert opened no incident report")
+        incident = reporter.report(incidents[0]["id"])
+        top = incident["causes"][0]
+        _check(
+            top["kind"] == "probe_failure",
+            f"incident top cause is {top['kind']!r}, expected probe_failure",
+        )
+        print(f"incident {incidents[0]['id']} (rule {incidents[0]['rule']}):")
+        print(f"  top cause: {top['cause']}")
+
+        with MetricsGateway(service) as gateway:
+            host, port = gateway.address
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/probes", timeout=10
+            ) as resp:
+                board = json.loads(resp.read())
+            _check(
+                board["failing_routes"] == sorted(failing),
+                "/probes board disagrees with the prober",
+            )
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/incidents", timeout=10
+            ) as resp:
+                served = json.loads(resp.read())
+            _check(
+                served["incidents"]
+                and served["incidents"][0]["id"] == incidents[0]["id"],
+                "/incidents did not serve the open report",
+            )
+            print(
+                f"gateway: /probes shows {len(board['failing_routes'])} failing "
+                f"route(s), /incidents serves {len(served['incidents'])} report(s)"
+            )
+
+        param.flat[0] = original  # repair the model
+        summary = prober.sweep()
+        _check(
+            summary["failures"] == 0 and prober.failing_routes() == {},
+            "recovery sweep did not clear the failing routes",
+        )
+        print("model repaired; probe routes clear")
         print("all smoke checks passed")
 
 

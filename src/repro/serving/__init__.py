@@ -61,6 +61,17 @@ pending → firing → resolved state machine (``/alerts``), and an
 :class:`OpsJournal` durably records every lifecycle event — hot-swaps,
 rollout transitions, rebalances, respawns, breaker trips, degradations,
 alert transitions — as crash-safe append-only JSONL (``/events/recent``).
+
+Active probing (:mod:`repro.serving.prober` +
+:mod:`repro.serving.incidents`) closes the loop from the outside in: a
+:class:`SyntheticProber` drives golden-kernel requests with precomputed
+known answers through every live route (frontend × shard × live
+version, tagged ``synthetic=True`` on the wire and excluded from
+business stats/SLO/feedback) and verifies the responses bitwise
+(``/probes``), while an :class:`IncidentReporter` turns every alert
+firing into a ranked, journaled root-cause report assembled from the
+journal window, profiler exemplars, per-shard z-scores, and probe
+verdicts (``/incidents``).
 """
 from .alerts import (
     Alert,
@@ -97,6 +108,7 @@ from .executors import (
 )
 from .frontend import Frontend, InProcessFrontend, SocketFrontend
 from .http_gateway import PROMETHEUS_CONTENT_TYPE, MetricsGateway
+from .incidents import IncidentReporter
 from .journal import OpsJournal
 from .placement import (
     DEFAULT_BUCKETS,
@@ -126,6 +138,7 @@ from .protocol import (
     recv_frame,
     send_frame,
 )
+from .prober import GoldenProbe, SyntheticProber
 from .profiler import ContinuousProfiler
 from .registry import ModelRegistry
 from .replica import ReplicaPool, ResultCache, shard_of
@@ -214,6 +227,7 @@ __all__ = [
     "Executor",
     "Gauge",
     "Histogram",
+    "IncidentReporter",
     "FaultInjector",
     "FaultPlan",
     "FaultRule",
@@ -221,6 +235,7 @@ __all__ = [
     "FeedbackSample",
     "Frontend",
     "FullActivation",
+    "GoldenProbe",
     "InProcessFrontend",
     "InThreadExecutor",
     "KernelRuntimeRequest",
@@ -254,6 +269,7 @@ __all__ = [
     "SocketEvaluator",
     "SocketFrontend",
     "Span",
+    "SyntheticProber",
     "TelemetryRegistry",
     "ThresholdRule",
     "TileCommand",

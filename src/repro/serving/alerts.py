@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from math import sqrt
 
@@ -243,6 +244,9 @@ class Alert:
     fired_count: int = 0
     exemplar_trace_id: str | None = None
     rule_state: dict = field(default_factory=dict)
+    #: Bounded (ts, value) history — what an incident report shows as
+    #: "the breached rule and its recent series".
+    series: deque = field(default_factory=lambda: deque(maxlen=64))
 
     def to_dict(self) -> dict:
         rule = self.rule
@@ -305,6 +309,11 @@ class AlertEngine:
         self._exemplar = exemplar
         self._lock = threading.Lock()
         self._alerts: dict[str, Alert] = {}
+        #: Transition observers: callables invoked with each transition
+        #: dict, outside the engine lock, right after journaling. The
+        #: incident reporter hooks here; observer exceptions are
+        #: swallowed — a broken reporter must never break alerting.
+        self.observers: list = []
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
         self.evaluations = 0
@@ -353,6 +362,15 @@ class AlertEngine:
                     trace_id=move.get("trace_id"),
                     **{k: v for k, v in move.items() if k != "trace_id"},
                 )
+        # Observers also run outside the lock (they may call back into
+        # alerts()/series()); journal first so an incident report can
+        # already see its own triggering transition in the journal.
+        for observer in list(self.observers):
+            for move in transitions:
+                try:
+                    observer(move)
+                except Exception:
+                    pass
         return transitions
 
     def _step_locked(self, alert: Alert, snapshot: dict, now: float) -> dict | None:
@@ -363,6 +381,7 @@ class AlertEngine:
         )
         if value is not None:
             alert.last_value = value
+            alert.series.append((now, value))
         state = alert.state
 
         if state in (INACTIVE, RESOLVED):
@@ -377,7 +396,12 @@ class AlertEngine:
             if not breach:
                 alert.pending_since = None
                 return self._transition_locked(alert, INACTIVE, now)
-            if now - (alert.pending_since or now) >= rule.for_s:
+            # `is None` (not truthiness): an epoch-zero fake clock makes
+            # a legitimate pending_since of 0.0.
+            pending_since = (
+                alert.pending_since if alert.pending_since is not None else now
+            )
+            if now - pending_since >= rule.for_s:
                 return self._fire_locked(alert, now)
             return None
 
@@ -453,6 +477,12 @@ class AlertEngine:
         """The named rule's current state."""
         with self._lock:
             return self._alerts[name].state
+
+    def series(self, name: str) -> list[dict]:
+        """The named rule's recent evaluated values, oldest first."""
+        with self._lock:
+            points = list(self._alerts[name].series)
+        return [{"ts": ts, "value": value} for ts, value in points]
 
     def render(self) -> str:
         """ASCII alert board (``/alerts`` text format)."""

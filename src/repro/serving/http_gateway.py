@@ -11,7 +11,11 @@ a production service without handing out a control plane.
 
 Endpoints:
 
-* ``GET /healthz`` — liveness + the active checkpoint version (JSON).
+* ``GET /healthz`` — liveness + the active checkpoint version, plus a
+  ``status: ok | degraded | failing`` verdict folded from recent
+  synthetic-probe results, open circuit breakers, and firing alerts
+  (``failing`` answers 503 so a load balancer can act on it; the JSON
+  stays backwards compatible).
 * ``GET /metrics`` — the registry snapshot in Prometheus text
   exposition format; ``?format=json`` returns the same snapshot as one
   JSON document (nested dicts intact).
@@ -29,12 +33,21 @@ Endpoints:
   per-rule state); ``?format=text`` for the ASCII board.
 * ``GET /events/recent`` — the newest ops-journal events (``?n=``
   bounds the count, default 50).
+* ``GET /probes`` — the synthetic prober's board: corpus size, route
+  matrix coverage, per-route pass/fail, recent verdicts.
+* ``GET /incidents`` — auto-generated incident report summaries;
+  ``GET /incidents/<id>`` one full report (``?format=text`` for the
+  ASCII rendering).
+
+``?n=`` on the ``/recent`` endpoints is bounds-checked (an integer in
+[1, 1000]); malformed or out-of-range values answer a typed ``400``
+instead of a fixed-size dump.
 
 Trace endpoints answer ``503`` when the service has no tracer attached
 (tracing disabled is the zero-overhead default) and ``404`` for ids the
-ring buffer no longer retains; ``/profile``, ``/alerts``, and
-``/events/recent`` answer ``503`` the same way when their component is
-not attached.
+ring buffer no longer retains; ``/profile``, ``/alerts``,
+``/events/recent``, ``/probes``, and ``/incidents`` answer ``503`` the
+same way when their component is not attached.
 
 The gateway itself is instrumented: its request counter, error counter,
 latency histogram, and a per-endpoint access breakdown land in the same
@@ -149,11 +162,74 @@ class MetricsGateway:
     #: Route families used as the access-counter label — a fixed
     #: vocabulary, so label cardinality stays bounded no matter what
     #: paths clients probe.
-    _ENDPOINTS = ("healthz", "metrics", "traces", "profile", "alerts", "events")
+    _ENDPOINTS = (
+        "healthz",
+        "metrics",
+        "traces",
+        "profile",
+        "alerts",
+        "events",
+        "probes",
+        "incidents",
+    )
 
     def _count_access(self, family: str) -> None:
         with self._access_lock:
             self._accesses[family] = self._accesses.get(family, 0) + 1
+
+    #: Bounds for the ``?n=`` limit on the ``/recent`` endpoints — large
+    #: enough for any console, small enough that a scrape can't ask the
+    #: gateway to serialize an unbounded dump.
+    _MAX_N = 1000
+
+    @classmethod
+    def _parse_n(cls, query: dict, default: int) -> tuple[int | None, str | None]:
+        """Parse the ``?n=`` limit; ``(n, None)`` or ``(None, error)``."""
+        raw = query.get("n", [str(default)])[0]
+        try:
+            n = int(raw)
+        except ValueError:
+            return None, f"n must be an integer, got {raw!r}"
+        if not 1 <= n <= cls._MAX_N:
+            return None, f"n must be in [1, {cls._MAX_N}], got {n}"
+        return n, None
+
+    def _health_verdict(self) -> tuple[str, dict]:
+        """Fold probes, breakers, and alerts into ``ok|degraded|failing``.
+
+        A failing probe route is *verified* breakage (a known answer came
+        back wrong, or not at all) → ``failing``. Open breakers or firing
+        alerts mean the service is coping but impaired → ``degraded``.
+        Components that aren't attached just don't vote.
+        """
+        detail: dict = {}
+        status = "ok"
+        alerts = getattr(self.service, "alerts", None)
+        if alerts is not None:
+            firing = int(alerts.snapshot()["alerts_firing"])
+            detail["alerts_firing"] = firing
+            if firing:
+                status = "degraded"
+        try:
+            board = self.service._collect_breakers()["breakers"]
+        except Exception:
+            board = {}
+        open_breakers = sorted(
+            shard
+            for shard, snap in board.items()
+            if snap.get("state") in ("open", "half-open")
+        )
+        detail["breakers_open"] = open_breakers
+        if open_breakers:
+            status = "degraded"
+        prober = getattr(self.service, "prober", None)
+        if prober is not None:
+            health = prober.health()
+            detail["probe_failing_routes"] = health["failing_routes"]
+            detail["probes"] = health["probes"]
+            if health["failing_routes"]:
+                status = "failing"
+        return status, detail
 
     def _route(self, handler: BaseHTTPRequestHandler) -> int:
         url = urlparse(handler.path)
@@ -162,14 +238,16 @@ class MetricsGateway:
         family = parts[0] if parts else ""
         self._count_access(family if family in self._ENDPOINTS else "other")
         if url.path == "/healthz":
+            status, detail = self._health_verdict()
             return self._send(
                 handler,
-                200,
+                503 if status == "failing" else 200,
                 {
-                    "status": "ok",
+                    "status": status,
                     "running": bool(self.service.is_running),
                     "active_version": self.service.registry.active_version,
                     "tracing": self.service.tracer is not None,
+                    **detail,
                 },
             )
         if url.path == "/metrics":
@@ -191,10 +269,9 @@ class MetricsGateway:
                     handler, 503, {"error": "tracing is not enabled"}
                 )
             if len(parts) == 2 and parts[1] == "recent":
-                try:
-                    n = int(query.get("n", ["20"])[0])
-                except ValueError:
-                    return self._send(handler, 400, {"error": "bad n"})
+                n, error = self._parse_n(query, default=20)
+                if error is not None:
+                    return self._send(handler, 400, {"error": error})
                 return self._send(handler, 200, {"traces": tracer.recent(n)})
             if len(parts) == 2:
                 trace_id = parts[1]
@@ -265,11 +342,46 @@ class MetricsGateway:
                 return self._send(
                     handler, 503, {"error": "ops journal is not enabled"}
                 )
-            try:
-                n = int(query.get("n", ["50"])[0])
-            except ValueError:
-                return self._send(handler, 400, {"error": "bad n"})
+            n, error = self._parse_n(query, default=50)
+            if error is not None:
+                return self._send(handler, 400, {"error": error})
             return self._send(handler, 200, {"events": journal.recent(n)})
+        if url.path == "/probes":
+            prober = getattr(self.service, "prober", None)
+            if prober is None:
+                return self._send(
+                    handler, 503, {"error": "synthetic probing is not enabled"}
+                )
+            return self._send(handler, 200, prober.board())
+        if parts and parts[0] == "incidents":
+            incidents = getattr(self.service, "incidents", None)
+            if incidents is None:
+                return self._send(
+                    handler, 503, {"error": "incident reporting is not enabled"}
+                )
+            if len(parts) == 1:
+                return self._send(
+                    handler, 200, {"incidents": incidents.reports()}
+                )
+            if len(parts) == 2:
+                incident_id = parts[1]
+                if query.get("format", [""])[0] == "text":
+                    rendered = incidents.render(incident_id)
+                    status = 404 if rendered.endswith("unknown") else 200
+                    return self._send_raw(
+                        handler,
+                        status,
+                        (rendered + "\n").encode(),
+                        "text/plain; charset=utf-8",
+                    )
+                report = incidents.report(incident_id)
+                if report is None:
+                    return self._send(
+                        handler,
+                        404,
+                        {"error": f"incident {incident_id} not retained"},
+                    )
+                return self._send(handler, 200, report)
         return self._send(handler, 404, {"error": f"no route for {url.path}"})
 
     @staticmethod

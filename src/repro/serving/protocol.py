@@ -145,6 +145,16 @@ def _trace_field(trace: TraceContext | None) -> dict:
     return {"trace": trace.to_wire()} if trace is not None else {}
 
 
+def _synthetic_field(synthetic: bool) -> dict:
+    """The optional wire form of the prober's ``synthetic=True`` tag.
+
+    Real traffic adds no bytes; probe requests carry one JSON entry old
+    peers never look at — the same optional-field discipline as
+    ``deadline_s`` and ``trace``.
+    """
+    return {"synthetic": True} if synthetic else {}
+
+
 def lru_touch(mapping: OrderedDict, key, value, max_entries: int) -> None:
     """Insert/refresh ``key`` in a bounded LRU ``OrderedDict``.
 
@@ -174,12 +184,19 @@ class TileScoresRequest:
             common case). Like ``deadline_s``, excluded from
             :meth:`cache_key`: a trace annotates a submission, it never
             changes the answer.
+        synthetic: the request is a prober probe, not business traffic.
+            The scheduler coalesces it normally, but the service excludes
+            it from business stats, the SLO window, feedback joins, and
+            the result cache, and stamps the tag back on the response.
+            Excluded from :meth:`cache_key` for the same reason as
+            ``trace`` — it annotates, never changes, the answer.
     """
 
     kernel: Kernel
     tiles: tuple[TileConfig, ...]
     deadline_s: float | None = None
     trace: TraceContext | None = None
+    synthetic: bool = False
 
     def shard_key(self) -> str:
         return self.kernel.fingerprint()
@@ -197,6 +214,7 @@ class TileScoresRequest:
             tiles=[list(t.dims) for t in self.tiles],
             deadline_s=self.deadline_s,
             **_trace_field(self.trace),
+            **_synthetic_field(self.synthetic),
         )
 
     @classmethod
@@ -208,6 +226,7 @@ class TileScoresRequest:
             # decode.
             deadline_s=payload.get("deadline_s"),
             trace=TraceContext.from_wire(payload.get("trace")),
+            synthetic=bool(payload.get("synthetic", False)),
         )
 
 
@@ -218,6 +237,7 @@ class KernelRuntimeRequest:
     kernel: Kernel
     deadline_s: float | None = None
     trace: TraceContext | None = None
+    synthetic: bool = False
 
     def shard_key(self) -> str:
         return self.kernel.fingerprint()
@@ -234,6 +254,7 @@ class KernelRuntimeRequest:
             kernel=_kernel_to_wire(self.kernel, known),
             deadline_s=self.deadline_s,
             **_trace_field(self.trace),
+            **_synthetic_field(self.synthetic),
         )
 
     @classmethod
@@ -242,6 +263,7 @@ class KernelRuntimeRequest:
             kernel=_kernel_from_wire(payload["kernel"], interner, max_interned),
             deadline_s=payload.get("deadline_s"),
             trace=TraceContext.from_wire(payload.get("trace")),
+            synthetic=bool(payload.get("synthetic", False)),
         )
 
 
@@ -257,6 +279,7 @@ class ProgramRuntimesRequest:
     programs: tuple[tuple[Kernel, ...], ...]
     deadline_s: float | None = None
     trace: TraceContext | None = None
+    synthetic: bool = False
 
     def shard_key(self) -> str:
         # Route whole populations by their first kernel so one replica's
@@ -283,6 +306,7 @@ class ProgramRuntimesRequest:
             ],
             deadline_s=self.deadline_s,
             **_trace_field(self.trace),
+            **_synthetic_field(self.synthetic),
         )
 
     @classmethod
@@ -296,6 +320,7 @@ class ProgramRuntimesRequest:
             ),
             deadline_s=payload.get("deadline_s"),
             trace=TraceContext.from_wire(payload.get("trace")),
+            synthetic=bool(payload.get("synthetic", False)),
         )
 
 
@@ -386,6 +411,10 @@ class Response:
         trace_id: id of the sampled trace this request was recorded
             under, or ``None`` (unsampled / tracing off). Lets a client
             fetch its own trace tree from the ops gateway.
+        synthetic: this response answers a prober probe — the service
+            stamped the request's ``synthetic=True`` tag back on, and
+            excluded the exchange from business stats, the SLO window,
+            feedback joins, and the result cache.
     """
 
     value: np.ndarray | float | None
@@ -399,6 +428,7 @@ class Response:
     error_code: str | None = None
     degraded: bool = False
     trace_id: str | None = None
+    synthetic: bool = False
 
     def unwrap(self) -> np.ndarray | float:
         """The value, raising ``RuntimeError`` if the request failed."""
@@ -438,6 +468,10 @@ class Response:
                 "error_code": self.error_code,
                 "degraded": self.degraded,
                 "trace_id": self.trace_id,
+                # Optional-field discipline: business responses carry no
+                # prober bytes at all, so their wire form is byte-identical
+                # to the pre-prober stack.
+                **_synthetic_field(self.synthetic),
             }
         ).encode()
         return struct.pack(">I", len(header)) + header + payload
@@ -473,6 +507,7 @@ class Response:
                 error_code=header.get("error_code"),
                 degraded=bool(header.get("degraded", False)),
                 trace_id=header.get("trace_id"),
+                synthetic=bool(header.get("synthetic", False)),
             )
         except WireError:
             raise

@@ -255,6 +255,13 @@ class CostModelService:
         #: via :meth:`attach_alerts` (the engine needs the built service
         #: to read snapshots from, so it cannot be a ctor argument).
         self.alerts = None
+        #: Optional :class:`~repro.serving.prober.SyntheticProber`;
+        #: installed via :meth:`attach_prober`. Same ``None``-hook
+        #: discipline: a prober-less service is bitwise-identical.
+        self.prober = None
+        #: Optional :class:`~repro.serving.incidents.IncidentReporter`;
+        #: installed via :meth:`attach_incidents`.
+        self.incidents = None
         if isinstance(source, ModelRegistry):
             self.registry = source
         else:
@@ -486,8 +493,12 @@ class CostModelService:
         active = self.registry.active_version
         policy = self.get_rollout()
         version = self._route(policy, request, active)
+        # Synthetic probes must exercise the full route (scheduler,
+        # executor, worker) — a cached answer would verify nothing — and
+        # must not touch the business result cache or counters.
+        synthetic = getattr(request, "synthetic", False)
         try:
-            key = request.cache_key()
+            key = None if synthetic else request.cache_key()
         except Exception:
             # Malformed requests still get a future; the worker resolves
             # it with an error response instead of submit() throwing.
@@ -515,7 +526,8 @@ class CostModelService:
         try:
             return self.scheduler.submit(request)
         except Overloaded:
-            self.stats.record_overload_rejection()
+            if not synthetic:
+                self.stats.record_overload_rejection()
             if ctx is not None:
                 tracer.event(ctx, "overload.rejected")
                 tracer.finish(ctx, status="error")
@@ -652,7 +664,36 @@ class CostModelService:
 
             engine._exemplar = _exemplar
         engine.register_into(self.telemetry)
+        if self.incidents is not None:
+            self.incidents.observe(engine)
         self.alerts = engine
+
+    def attach_prober(self, prober) -> None:
+        """Install a :class:`~repro.serving.prober.SyntheticProber`.
+
+        Binds the prober to this service (reference evaluators per live
+        registry version, the in-process probe route, shard lookup) and
+        registers its ``prober_*`` telemetry family. The prober stays
+        *pulled* — call ``prober.sweep()`` from the ops loop (or
+        ``prober.start()`` it on its own cadence).
+        """
+        prober.bind(self)
+        prober.register_into(self.telemetry)
+        self.prober = prober
+
+    def attach_incidents(self, reporter) -> None:
+        """Install an :class:`~repro.serving.incidents.IncidentReporter`.
+
+        Binds the reporter to this service's journal, stats, profiler and
+        prober, and hooks it on the attached alert engine's transitions
+        (either attach order works) so every ``→ firing`` transition
+        self-assembles an incident report.
+        """
+        reporter.bind(self)
+        if self.alerts is not None:
+            reporter.observe(self.alerts)
+        reporter.register_into(self.telemetry)
+        self.incidents = reporter
 
     def _build_telemetry(self) -> TelemetryRegistry:
         registry = TelemetryRegistry()
@@ -814,9 +855,14 @@ class CostModelService:
             shadow_groups: dict[str, list[PendingRequest]] = {}
             for pending in batch:
                 version = self._route(policy, pending.request, active)
-                shadow = self._shadow_target(
-                    policy, pending.request, active, version
-                )
+                # Probes never trigger shadow scoring: a shadow forward
+                # spent on synthetic traffic is wasted evidence budget.
+                if getattr(pending.request, "synthetic", False):
+                    shadow = None
+                else:
+                    shadow = self._shadow_target(
+                        policy, pending.request, active, version
+                    )
                 pending.routed_version = version
                 pending.shadowed_by = shadow
                 groups.setdefault(version, []).append(pending)
@@ -893,10 +939,13 @@ class CostModelService:
         now = time.perf_counter()
         live: list[PendingRequest] = []
         for pending in batch:
+            synthetic = getattr(pending.request, "synthetic", False)
             if pending.future.done():
-                self.stats.record_abandoned()
+                if not synthetic:
+                    self.stats.record_abandoned()
             elif pending.expires_at is not None and now >= pending.expires_at:
-                self.stats.record_deadline_expired()
+                if not synthetic:
+                    self.stats.record_deadline_expired()
                 self._resolve_error(
                     pending,
                     active,
@@ -949,6 +998,7 @@ class CostModelService:
         """
         if pending.future.done():
             return
+        synthetic = getattr(pending.request, "synthetic", False)
         if self._fallback is not None:
             try:
                 value = self._fallback.answer(pending.request)
@@ -956,19 +1006,23 @@ class CostModelService:
                 value = None
             if value is not None:
                 latency = time.perf_counter() - pending.enqueued_at
-                self.stats.record_response(latency, cache_hit=False, shard=shard)
-                self.stats.record_degraded()
+                if not synthetic:
+                    self.stats.record_response(
+                        latency, cache_hit=False, shard=shard
+                    )
+                    self.stats.record_degraded()
                 ctx = self._trace_ctx(pending)
                 if ctx is not None:
                     self.tracer.event(ctx, "degraded", attrs={"reason": reason})
                     self.tracer.finish(ctx, status="degraded")
-                self._journal_event(
-                    "service.degraded",
-                    trace_id=ctx.trace_id if ctx is not None else None,
-                    shard=shard,
-                    version=version,
-                    reason=reason.splitlines()[0][:200] if reason else "",
-                )
+                if not synthetic:
+                    self._journal_event(
+                        "service.degraded",
+                        trace_id=ctx.trace_id if ctx is not None else None,
+                        shard=shard,
+                        version=version,
+                        reason=reason.splitlines()[0][:200] if reason else "",
+                    )
                 pending.future.set_result(
                     Response(
                         value=value,
@@ -977,6 +1031,7 @@ class CostModelService:
                         latency_s=latency,
                         degraded=True,
                         trace_id=ctx.trace_id if ctx is not None else None,
+                        synthetic=synthetic,
                     )
                 )
                 return
@@ -1111,7 +1166,13 @@ class CostModelService:
                 dispatch_spans.append(spans)
             else:
                 _, shard, pendings = group
-                self.stats.record_breaker_block(len(pendings))
+                blocked = sum(
+                    1
+                    for p in pendings
+                    if not getattr(p.request, "synthetic", False)
+                )
+                if blocked:
+                    self.stats.record_breaker_block(blocked)
                 for pending in pendings:
                     if tracer is not None:
                         ctx = getattr(pending.request, "trace", None)
@@ -1296,18 +1357,26 @@ class CostModelService:
         if pending.future.done():
             return
         latency = time.perf_counter() - pending.enqueued_at
-        key = pending.request.cache_key()
+        synthetic = getattr(pending.request, "synthetic", False)
+        if synthetic:
+            # Probes are excluded from the result cache, business stats,
+            # the SLO window, and feedback joins; the prober keeps its
+            # own ``prober_*`` accounting.
+            key = None
+        else:
+            key = pending.request.cache_key()
         if key is not None:
             self.result_cache.put((version, key), value)
-        self.stats.record_response(latency, cache_hit=False, shard=shard)
-        self.stats.record_route(version, canary=canary)
-        if self.feedback is not None:
-            self.feedback.record_prediction(
-                version,
-                request_key(pending.request),
-                value,
-                request=pending.request,
-            )
+        if not synthetic:
+            self.stats.record_response(latency, cache_hit=False, shard=shard)
+            self.stats.record_route(version, canary=canary)
+            if self.feedback is not None:
+                self.feedback.record_prediction(
+                    version,
+                    request_key(pending.request),
+                    value,
+                    request=pending.request,
+                )
         ctx = self._trace_ctx(pending)
         if ctx is not None:
             self.tracer.finish(
@@ -1327,6 +1396,7 @@ class CostModelService:
                 canary=canary,
                 shadowed_by=pending.shadowed_by,
                 trace_id=ctx.trace_id if ctx is not None else None,
+                synthetic=synthetic,
             )
         )
 
@@ -1341,8 +1411,12 @@ class CostModelService:
         if pending.future.done():
             return
         latency = time.perf_counter() - pending.enqueued_at
-        self.stats.record_response(latency, cache_hit=False, error=True, shard=shard)
-        self.stats.record_route(version, error=True)
+        synthetic = getattr(pending.request, "synthetic", False)
+        if not synthetic:
+            self.stats.record_response(
+                latency, cache_hit=False, error=True, shard=shard
+            )
+            self.stats.record_route(version, error=True)
         ctx = self._trace_ctx(pending)
         if ctx is not None:
             self.tracer.finish(
@@ -1356,5 +1430,6 @@ class CostModelService:
                 error=message,
                 error_code=code,
                 trace_id=ctx.trace_id if ctx is not None else None,
+                synthetic=synthetic,
             )
         )

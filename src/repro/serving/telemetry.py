@@ -776,6 +776,7 @@ class TelemetryRegistry:
         "shard_latency_ewma": "shard",
         "gateway_accesses": "endpoint",
         "profiler_stage": "stage",
+        "prober_route": "route",
     }
 
     @staticmethod

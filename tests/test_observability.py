@@ -9,7 +9,11 @@ bounded interval ring, and the whole stack must journal a service's real
 lifecycle events end to end.
 """
 import json
+import threading
+import urllib.error
+import urllib.request
 
+import numpy as np
 import pytest
 
 from repro.compiler import enumerate_tile_sizes
@@ -22,12 +26,19 @@ from repro.serving import (
     BurnRateRule,
     ContinuousProfiler,
     CostModelService,
+    GoldenProbe,
+    IncidentReporter,
+    MetricsGateway,
     OpsJournal,
+    Response,
     ServiceConfig,
     ServiceEvaluator,
+    SyntheticProber,
     TelemetryRegistry,
     ThresholdRule,
+    TileScoresRequest,
     Tracer,
+    decode_request,
 )
 from repro.workloads import vision
 
@@ -569,3 +580,471 @@ class TestServiceIntegration:
         finally:
             service.stop()
             journal.close()
+
+
+# ---------------------------------------------------------------------- #
+# synthetic prober: known-answer verification over live routes
+# ---------------------------------------------------------------------- #
+
+
+def _golden_probes(records, count=3, tiles=3):
+    return [
+        GoldenProbe(r.kernel, tuple(enumerate_tile_sizes(r.kernel)[:tiles]))
+        for r in records[:count]
+    ]
+
+
+def _corrupt_live_model(service):
+    """Silently perturb the *serving side*'s in-memory weights — the
+    registry blob (the prober's reference source) stays pristine, so a
+    probe's known answer diverges from what the route now serves."""
+    version = service.registry.active_version
+    model = service.registry.get(version).model
+    param = model.parameters()[0].data
+    original = param.flat[0]
+    param.flat[0] = original + 100.0
+    return version, param, original
+
+
+class TestSyntheticProber:
+    def test_known_answers_pass_bitwise_and_probes_stay_out_of_business_stats(
+        self, corpus, result_a
+    ):
+        records, _ = corpus
+        service = CostModelService(
+            result_a, ServiceConfig(replicas=2, result_cache_entries=64)
+        ).start()
+        try:
+            prober = SyntheticProber(_golden_probes(records))
+            service.attach_prober(prober)
+            summary = prober.sweep()
+            assert summary["failures"] == 0
+            assert summary["probes"] == 3
+            # Equal batch shape => bitwise-identical to the direct
+            # evaluator over the version's own sealed blob.
+            assert all(v["exact"] is True for v in prober.recent(10))
+            # Probes never leak into business accounting: QPS, the
+            # result cache, and the SLO latency window all stay empty.
+            assert service.stats.requests == 0
+            assert service.stats.cache_hits == 0
+            assert service.stats.slo_window(0.1)["window"] == 0.0
+            # ... but they live in their own telemetry family.
+            snap = service.telemetry.collect()
+            assert snap["prober_probes"] == 3.0
+            assert snap["prober_failures"] == 0.0
+            assert snap["prober_routes_failing"] == 0.0
+            # A business request afterwards is counted normally and is
+            # not tagged synthetic.
+            client = ServiceEvaluator(service, timeout_s=120.0)
+            record = records[0]
+            client.score_tiles_batched(
+                record.kernel, enumerate_tile_sizes(record.kernel)[:3]
+            )
+            assert service.stats.requests == 1
+        finally:
+            service.stop()
+
+    def test_probe_responses_are_tagged_synthetic(self, corpus, result_a):
+        records, _ = corpus
+        service = CostModelService(
+            result_a, ServiceConfig(replicas=1, result_cache_entries=64)
+        ).start()
+        try:
+            record = records[0]
+            tiles = tuple(enumerate_tile_sizes(record.kernel)[:3])
+            future = service.submit(
+                TileScoresRequest(kernel=record.kernel, tiles=tiles, synthetic=True)
+            )
+            response = future.result(timeout=120.0)
+            assert response.synthetic is True
+            future = service.submit(
+                TileScoresRequest(kernel=record.kernel, tiles=tiles)
+            )
+            response = future.result(timeout=120.0)
+            assert response.synthetic is False
+        finally:
+            service.stop()
+
+    def test_wire_tag_is_optional_and_backwards_compatible(self, corpus):
+        records, _ = corpus
+        record = records[0]
+        tiles = tuple(enumerate_tile_sizes(record.kernel)[:2])
+        plain = TileScoresRequest(kernel=record.kernel, tiles=tiles)
+        tagged = TileScoresRequest(kernel=record.kernel, tiles=tiles, synthetic=True)
+        # Business traffic adds zero bytes for the new field.
+        assert b"synthetic" not in plain.to_bytes()
+        assert b"synthetic" in tagged.to_bytes()
+        assert decode_request(tagged.to_bytes()).synthetic is True
+        assert decode_request(plain.to_bytes()).synthetic is False
+        # Same contract on the response side.
+        ok = Response(value=np.array([1.0, 2.0]), model_version="v1")
+        assert b"synthetic" not in ok.to_bytes()
+        probe = Response(
+            value=np.array([1.0, 2.0]), model_version="v1", synthetic=True
+        )
+        assert Response.from_bytes(probe.to_bytes()).synthetic is True
+
+    def test_schedule_is_deterministic_under_injected_clock(self, corpus, result_a):
+        records, _ = corpus
+        clock = FakeClock(100.0)
+        service = CostModelService(
+            result_a, ServiceConfig(replicas=1, result_cache_entries=0)
+        ).start()
+        try:
+            prober = SyntheticProber(
+                _golden_probes(records, count=1), interval_s=10.0, clock=clock
+            )
+            service.attach_prober(prober)
+            assert prober.due()
+            assert prober.maybe_sweep() is not None
+            assert prober.maybe_sweep() is None  # not due again yet
+            clock.advance(9.9)
+            assert not prober.due()
+            clock.advance(0.2)
+            assert prober.maybe_sweep() is not None
+        finally:
+            service.stop()
+
+    def test_silent_corruption_is_caught_journaled_and_clears_on_recovery(
+        self, corpus, result_a, tmp_path
+    ):
+        records, _ = corpus
+        journal = OpsJournal(tmp_path / "ops.jsonl")
+        service = CostModelService(
+            result_a,
+            ServiceConfig(replicas=2, result_cache_entries=0),
+            journal=journal,
+        ).start()
+        try:
+            prober = SyntheticProber(_golden_probes(records))
+            service.attach_prober(prober)
+            assert prober.sweep()["failures"] == 0
+
+            _, param, original = _corrupt_live_model(service)
+            summary = prober.sweep()
+            assert summary["failures"] > 0
+            failing = prober.failing_routes()
+            assert failing
+            for route, stats in failing.items():
+                assert stats["first_failure_seq"] is not None
+            # Every failure landed in the journal with the verdict.
+            events = journal.timeline(("probe.failure",))
+            assert events
+            assert all(e["reason"] == "known_answer_mismatch" for e in events)
+            seqs = {e["seq"] for e in events}
+            assert {
+                s["first_failure_seq"] for s in failing.values()
+            } <= seqs
+            assert service.telemetry.collect()["prober_routes_failing"] > 0.0
+
+            # Recovery: a healthy probe clears the route's breach marker.
+            param.flat[0] = original
+            assert prober.sweep()["failures"] == 0
+            assert prober.failing_routes() == {}
+        finally:
+            service.stop()
+            journal.close()
+
+    def test_transport_failure_is_a_route_failure(self, corpus, result_a):
+        records, _ = corpus
+        service = CostModelService(
+            result_a, ServiceConfig(replicas=1, result_cache_entries=0)
+        ).start()
+        try:
+            prober = SyntheticProber(_golden_probes(records, count=1))
+            service.attach_prober(prober)
+
+            def broken(request):
+                raise ConnectionResetError("frontend down")
+
+            prober._frontends["socket"] = broken
+            summary = prober.sweep()
+            assert summary["failures"] == 1  # inprocess passed, socket failed
+            (route, stats), = prober.failing_routes().items()
+            assert route.startswith("socket:")
+            verdict = next(
+                v for v in prober.recent(10) if v["frontend"] == "socket"
+            )
+            assert verdict["reason"] == "transport:ConnectionResetError"
+
+            # Recovery: a no-answer failure has no served version, so it
+            # lands on the cell's "?" route — a later healthy answer from
+            # the same (frontend, shard) cell must supersede it, or the
+            # route would read as failing forever.
+            prober._frontends["socket"] = prober._frontends["inprocess"]
+            assert prober.sweep()["failures"] == 0
+            assert prober.failing_routes() == {}
+        finally:
+            service.stop()
+
+
+# ---------------------------------------------------------------------- #
+# incident reporter: alert firing -> ranked root-cause report
+# ---------------------------------------------------------------------- #
+
+
+class TestIncidentReporter:
+    def test_firing_alert_opens_report_naming_shard_and_journal_seq(
+        self, corpus, result_a, tmp_path
+    ):
+        records, _ = corpus
+        journal = OpsJournal(tmp_path / "ops.jsonl")
+        service = CostModelService(
+            result_a,
+            ServiceConfig(replicas=2, result_cache_entries=0),
+            journal=journal,
+        ).start()
+        try:
+            prober = SyntheticProber(_golden_probes(records))
+            service.attach_prober(prober)
+            reporter = IncidentReporter()
+            service.attach_incidents(reporter)
+            engine = AlertEngine(
+                rules=[
+                    ThresholdRule(
+                        name="probe_routes_failing",
+                        metric="prober_routes_failing",
+                        threshold=0.0,
+                        op=">",
+                        severity="critical",
+                    )
+                ]
+            )
+            service.attach_alerts(engine)
+
+            assert prober.sweep()["failures"] == 0
+            assert engine.evaluate() == []  # healthy: no transition
+            assert reporter.reports() == []
+
+            _corrupt_live_model(service)
+            prober.sweep()
+            moves = engine.evaluate()
+            assert [(m["name"], m["to"]) for m in moves] == [
+                ("probe_routes_failing", "firing")
+            ]
+
+            reports = reporter.reports()
+            assert len(reports) == 1
+            summary = reports[0]
+            assert summary["rule"] == "probe_routes_failing"
+            assert summary["severity"] == "critical"
+            full = reporter.report(summary["id"])
+            top = full["causes"][0]
+            # The top-ranked cause is the verified probe failure, naming
+            # the route's shard and the journal seq of the first breach.
+            assert top["kind"] == "probe_failure"
+            assert "began at journal seq" in top["cause"]
+            failing = prober.failing_routes()
+            assert top["evidence"]["route"] in failing
+            assert (
+                top["evidence"]["first_failure_seq"]
+                == failing[top["evidence"]["route"]]["first_failure_seq"]
+            )
+            # The report carries the breached rule's recent series and
+            # the journal window around the breach.
+            assert full["series"], "rule series missing"
+            kinds = {e["kind"] for e in full["journal_window"]}
+            assert "probe.failure" in kinds
+            # Journaled under the new event kinds, summary + full payload.
+            assert journal.timeline(("incident.open",))
+            assert journal.timeline(("incident.report",))
+            assert service.telemetry.collect()["incidents_opened"] == 1.0
+        finally:
+            service.stop()
+            journal.close()
+
+    def test_only_firing_transitions_open_reports(self):
+        clock = FakeClock(0.0)
+        reporter = IncidentReporter(clock=clock)
+        engine = AlertEngine(
+            rules=[
+                ThresholdRule(
+                    name="slow", metric="x", threshold=0.0, op=">", for_s=10.0
+                )
+            ],
+            clock=clock,
+        )
+        reporter.observe(engine)
+        assert engine.evaluate({"x": 1.0}) != []  # inactive -> pending
+        assert reporter.reports() == []
+        clock.advance(11.0)
+        assert engine.evaluate({"x": 1.0}) != []  # pending -> firing
+        assert len(reporter.reports()) == 1
+
+    def test_report_ring_is_bounded(self):
+        reporter = IncidentReporter(max_reports=2)
+        for i in range(3):
+            reporter.open_incident(
+                {"name": f"r{i}", "to": "firing", "severity": "warning"}
+            )
+        reports = reporter.reports()
+        assert len(reports) == 2
+        assert [r["rule"] for r in reports] == ["r2", "r1"]
+        assert reporter.report("inc-1") is None  # evicted
+        assert reporter.report("inc-3") is not None
+
+
+# ---------------------------------------------------------------------- #
+# ops journal under concurrent writers
+# ---------------------------------------------------------------------- #
+
+
+class TestJournalConcurrentWriters:
+    def test_interleaved_append_rotate_replay(self, tmp_path):
+        """Four writers race appends across rotations while a reader
+        replays mid-stream; afterwards the journal must hold every event
+        exactly once, in strictly monotone seq order, with no torn
+        interleavings on disk."""
+        writers, per_writer = 4, 50
+        journal = OpsJournal(
+            tmp_path / "ops.jsonl", max_bytes=1024, max_files=60
+        )
+        try:
+            start = threading.Barrier(writers + 1)
+            stop_reading = threading.Event()
+
+            def write(idx: int) -> None:
+                start.wait()
+                for n in range(per_writer):
+                    journal.record("stress.write", writer=idx, n=n)
+
+            def read() -> None:
+                start.wait()
+                while not stop_reading.is_set():
+                    journal.recent(10)
+                    for _ in journal.replay():
+                        pass
+
+            threads = [
+                threading.Thread(target=write, args=(i,)) for i in range(writers)
+            ]
+            reader = threading.Thread(target=read)
+            for t in threads:
+                t.start()
+            reader.start()
+            for t in threads:
+                t.join()
+            stop_reading.set()
+            reader.join()
+
+            events = list(journal.replay())
+            assert len(events) == writers * per_writer
+            seqs = [e["seq"] for e in events]
+            assert seqs == sorted(seqs)
+            assert len(set(seqs)) == len(seqs)  # strictly monotone, no dupes
+            pairs = {(e["writer"], e["n"]) for e in events}
+            assert pairs == {
+                (w, n) for w in range(writers) for n in range(per_writer)
+            }
+            # Replay crossed at least one rotation boundary.
+            assert journal.snapshot()["journal_rotations"] >= 1.0
+        finally:
+            journal.close()
+
+
+# ---------------------------------------------------------------------- #
+# gateway error paths + health verdict
+# ---------------------------------------------------------------------- #
+
+
+def _get_json(address, path):
+    host, port = address
+    try:
+        with urllib.request.urlopen(
+            f"http://{host}:{port}{path}", timeout=10
+        ) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestGatewayErrorPathsAndHealth:
+    def test_bounds_checked_n_and_component_absent_paths(
+        self, corpus, result_a, tmp_path
+    ):
+        journal = OpsJournal(tmp_path / "ops.jsonl")
+        service = CostModelService(
+            result_a,
+            ServiceConfig(replicas=1, result_cache_entries=0),
+            tracer=Tracer(sample_rate=1.0),
+            journal=journal,
+        ).start()
+        try:
+            with MetricsGateway(service) as gateway:
+                address = gateway.address
+                # Malformed and out-of-range ?n= answer typed 400s.
+                for path in (
+                    "/traces/recent?n=abc",
+                    "/traces/recent?n=0",
+                    "/traces/recent?n=2000",
+                    "/events/recent?n=-3",
+                    "/events/recent?n=1.5",
+                ):
+                    status, payload = _get_json(address, path)
+                    assert status == 400, path
+                    assert "n must be" in payload["error"], path
+                status, payload = _get_json(address, "/traces/recent?n=5")
+                assert status == 200
+                status, payload = _get_json(address, "/events/recent?n=1000")
+                assert status == 200
+                # Detached components answer 503, unknown ids 404.
+                status, payload = _get_json(address, "/probes")
+                assert status == 503 and "not enabled" in payload["error"]
+                status, payload = _get_json(address, "/incidents")
+                assert status == 503
+                service.attach_incidents(IncidentReporter())
+                status, payload = _get_json(address, "/incidents")
+                assert status == 200 and payload["incidents"] == []
+                status, payload = _get_json(address, "/incidents/inc-404")
+                assert status == 404
+                status, payload = _get_json(address, "/nope")
+                assert status == 404
+        finally:
+            service.stop()
+            journal.close()
+
+    def test_healthz_verdict_ok_degraded_failing(self, corpus, result_a):
+        records, _ = corpus
+        service = CostModelService(
+            result_a, ServiceConfig(replicas=2, result_cache_entries=0)
+        ).start()
+        try:
+            with MetricsGateway(service) as gateway:
+                address = gateway.address
+                status, health = _get_json(address, "/healthz")
+                assert status == 200 and health["status"] == "ok"
+                # Back-compat: the shallow fields are still there.
+                assert health["running"] is True
+                assert health["active_version"] == "v1"
+
+                # A firing alert degrades (200, load balancer keeps it).
+                engine = AlertEngine(
+                    rules=[
+                        ThresholdRule(
+                            name="always", metric="requests", threshold=-1.0
+                        )
+                    ]
+                )
+                service.attach_alerts(engine)
+                engine.evaluate()
+                status, health = _get_json(address, "/healthz")
+                assert status == 200 and health["status"] == "degraded"
+                assert health["alerts_firing"] == 1
+
+                # A failing probe route is verified breakage: 503.
+                prober = SyntheticProber(_golden_probes(records))
+                service.attach_prober(prober)
+                prober.sweep()
+                status, health = _get_json(address, "/healthz")
+                assert health["probe_failing_routes"] == []
+                _corrupt_live_model(service)
+                prober.sweep()
+                status, health = _get_json(address, "/healthz")
+                assert status == 503 and health["status"] == "failing"
+                assert health["probe_failing_routes"]
+                # /probes now serves the board with the failing routes.
+                status, board = _get_json(address, "/probes")
+                assert status == 200
+                assert board["failing_routes"] == health["probe_failing_routes"]
+        finally:
+            service.stop()
